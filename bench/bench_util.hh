@@ -1,0 +1,76 @@
+#pragma once
+
+/**
+ * @file
+ * Shared helpers for the table-reproduction benches.
+ *
+ * Every bench binary reruns one of the paper's experiments at paper
+ * scale (32 simulated processors, Tables 1-3 hardware) and prints the
+ * corresponding tables. Pass --small to run a scaled-down version
+ * (useful for smoke testing); pass --procs N to change the machine
+ * size.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/config.hh"
+#include "core/report.hh"
+
+namespace wwt::bench
+{
+
+/** Command-line options shared by all benches. */
+struct Options {
+    bool small = false;
+    std::size_t procs = 32;
+};
+
+inline Options
+parseArgs(int argc, char** argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--small") == 0)
+            o.small = true;
+        else if (std::strcmp(argv[i], "--procs") == 0 && i + 1 < argc)
+            o.procs = static_cast<std::size_t>(std::atol(argv[++i]));
+    }
+    return o;
+}
+
+/** The paper's machine (Tables 1-3), sized by the options. */
+inline core::MachineConfig
+paperConfig(const Options& o)
+{
+    core::MachineConfig cfg = core::MachineConfig::cm5Like();
+    cfg.nprocs = o.procs;
+    return cfg;
+}
+
+inline void
+banner(const std::string& title)
+{
+    std::printf("\n===== %s =====\n", title.c_str());
+}
+
+inline void
+note(const std::string& text)
+{
+    std::printf("%s\n", text.c_str());
+}
+
+/** Print total cycles and the mutual ratio of a program pair. */
+inline void
+printPair(const char* name, const core::MachineReport& mp_rep,
+          const core::MachineReport& sm_rep)
+{
+    double mp_t = mp_rep.totalCycles();
+    double sm_t = sm_rep.totalCycles();
+    std::printf("%s: MP %.1fM cycles, SM %.1fM cycles; "
+                "MP relative to SM: %.0f%%\n",
+                name, mp_t / 1e6, sm_t / 1e6, 100.0 * mp_t / sm_t);
+}
+
+} // namespace wwt::bench

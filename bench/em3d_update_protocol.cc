@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Extension bench (Section 5.3.4): EM3D-SM with the bulk-update
+ * protocol of Falsafi et al. [6].
+ *
+ * The paper's discussion: the invalidation-based protocol needs four
+ * messages per producer-consumer update; replacing it with a bulk
+ * update protocol — a single message pushing new values from producer
+ * to consumer — made the shared-memory EM3D perform equivalently with
+ * EM3D-MP. This bench runs EM3D-SM with and without the push
+ * extension and EM3D-MP for reference.
+ */
+
+#include "apps/em3d.hh"
+#include "bench/bench_util.hh"
+
+using namespace wwt;
+using namespace wwt::bench;
+
+int
+main(int argc, char** argv)
+{
+    Options o = parseArgs(argc, argv);
+    apps::Em3dParams p;
+    if (o.small) {
+        p.nodesPerProc = 128;
+        p.degree = 5;
+        p.iters = 10;
+        o.procs = std::min<std::size_t>(o.procs, 8);
+    }
+    core::MachineConfig cfg = paperConfig(o);
+
+    banner("EM3D-MP (reference)");
+    mp::MpMachine mpm(cfg);
+    apps::Em3dResult mr = apps::runEm3dMp(mpm, p);
+    auto mp_rep = core::collectReport(mpm.engine(), {"Init", "Main"});
+    std::printf("main loop: %.1fM cycles\n",
+                mp_rep.totalCycles(1) / 1e6);
+
+    banner("EM3D-SM, invalidation-based (baseline)");
+    sm::SmMachine inv(cfg);
+    apps::Em3dResult ir = apps::runEm3dSm(inv, p);
+    auto inv_rep = core::collectReport(inv.engine(), {"Init", "Main"});
+    std::printf("main loop: %.1fM cycles, %.0f shared misses/proc\n",
+                inv_rep.totalCycles(1) / 1e6,
+                inv_rep.perProc(inv_rep.counts(1).sharedMissLocal +
+                                inv_rep.counts(1).sharedMissRemote));
+
+    banner("EM3D-SM, bulk-update protocol (Falsafi et al.)");
+    apps::Em3dParams pu = p;
+    pu.smBulkUpdate = true;
+    sm::SmMachine upd(cfg);
+    apps::Em3dResult ur = apps::runEm3dSm(upd, pu);
+    auto upd_rep = core::collectReport(upd.engine(), {"Init", "Main"});
+    std::printf("main loop: %.1fM cycles, %.0f shared misses/proc\n",
+                upd_rep.totalCycles(1) / 1e6,
+                upd_rep.perProc(upd_rep.counts(1).sharedMissLocal +
+                                upd_rep.counts(1).sharedMissRemote));
+
+    // At 256 KB most main-loop misses are capacity misses, which no
+    // coherence protocol can remove (Falsafi's system kept pushed
+    // data in local memory, Stache-style). With the working set
+    // resident, the pushes eliminate the producer-consumer pattern
+    // and the bulk-update SM version approaches message passing.
+    banner("Same comparison with a 1 MB cache (working set resident)");
+    core::MachineConfig big = cfg;
+    big.cache.bytes = 1024 * 1024;
+    sm::SmMachine inv2(big);
+    apps::runEm3dSm(inv2, p);
+    auto inv2_rep = core::collectReport(inv2.engine(), {"Init", "Main"});
+    sm::SmMachine upd2(big);
+    apps::runEm3dSm(upd2, pu);
+    auto upd2_rep = core::collectReport(upd2.engine(), {"Init", "Main"});
+    mp::MpMachine mpm2(big);
+    apps::runEm3dMp(mpm2, p);
+    auto mp2_rep = core::collectReport(mpm2.engine(), {"Init", "Main"});
+
+    std::printf("\nchecksums: MP %.6f, SM-inv %.6f, SM-update %.6f\n",
+                mr.checksum, ir.checksum, ur.checksum);
+    std::printf("main-loop cycles, 256 KB: MP %7.1fM | SM-inv %7.1fM "
+                "| SM-update %7.1fM\n",
+                mp_rep.totalCycles(1) / 1e6,
+                inv_rep.totalCycles(1) / 1e6,
+                upd_rep.totalCycles(1) / 1e6);
+    std::printf("main-loop cycles, 1 MB:   MP %7.1fM | SM-inv %7.1fM "
+                "| SM-update %7.1fM  (misses %.0f -> %.0f /proc)\n",
+                mp2_rep.totalCycles(1) / 1e6,
+                inv2_rep.totalCycles(1) / 1e6,
+                upd2_rep.totalCycles(1) / 1e6,
+                inv2_rep.perProc(inv2_rep.counts(1).sharedMissLocal +
+                                 inv2_rep.counts(1).sharedMissRemote),
+                upd2_rep.perProc(upd2_rep.counts(1).sharedMissLocal +
+                                 upd2_rep.counts(1).sharedMissRemote));
+    note("Paper: the bulk-update shared-memory EM3D 'performed "
+         "equivalently with EM3D-MP'. Target shape: with the working "
+         "set resident, SM-update collapses the misses and approaches "
+         "MP.");
+    return 0;
+}

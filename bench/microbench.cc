@@ -1,0 +1,125 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's own hot paths:
+ * cache lookups, TLB translation, the event calendar, fiber context
+ * switches, and whole protocol transactions. These measure *host*
+ * performance of the simulation infrastructure (how fast experiments
+ * run), not target-machine behavior.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/config.hh"
+#include "mem/cache.hh"
+#include "mem/tlb.hh"
+#include "sim/engine.hh"
+#include "sim/event_queue.hh"
+#include "sm/sm_machine.hh"
+
+using namespace wwt;
+
+static void
+BM_CacheHit(benchmark::State& state)
+{
+    mem::Cache c(256 * 1024, 4, 32, 1);
+    c.insert(c.blockOf(0x1000), mem::LineState::Exclusive, false);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(c.find(c.blockOf(0x1000)));
+}
+BENCHMARK(BM_CacheHit);
+
+static void
+BM_CacheMissInsert(benchmark::State& state)
+{
+    mem::Cache c(256 * 1024, 4, 32, 1);
+    Addr b = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            c.insert(b++, mem::LineState::Exclusive, false));
+    }
+}
+BENCHMARK(BM_CacheMissInsert);
+
+static void
+BM_TlbHit(benchmark::State& state)
+{
+    mem::Tlb t(64);
+    t.access(0x5000);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(t.access(0x5008));
+}
+BENCHMARK(BM_TlbHit);
+
+static void
+BM_EventQueueScheduleRun(benchmark::State& state)
+{
+    for (auto _ : state) {
+        sim::EventQueue q;
+        int sink = 0;
+        for (Cycle t = 0; t < 256; ++t)
+            q.schedule(t * 7 % 251, [&sink] { ++sink; });
+        q.runUntil(kCycleMax);
+        benchmark::DoNotOptimize(sink);
+    }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+static void
+BM_FiberSwitch(benchmark::State& state)
+{
+    sim::Fiber* fp = nullptr;
+    sim::Fiber f(64 * 1024, [&] {
+        while (true)
+            fp->yieldToCaller();
+    });
+    fp = &f;
+    for (auto _ : state)
+        f.switchTo();
+}
+BENCHMARK(BM_FiberSwitch);
+
+static void
+BM_EngineQuantum(benchmark::State& state)
+{
+    // Whole-engine throughput: 4 processors charging cycles.
+    for (auto _ : state) {
+        sim::Engine e(4);
+        for (NodeId i = 0; i < 4; ++i) {
+            e.setBody(i, [&e, i] {
+                for (int k = 0; k < 1000; ++k)
+                    e.proc(i).charge(30);
+            });
+        }
+        e.run();
+        benchmark::DoNotOptimize(e.elapsed());
+    }
+}
+BENCHMARK(BM_EngineQuantum);
+
+static void
+BM_ProtocolRemoteMiss(benchmark::State& state)
+{
+    // Cost of simulating one remote shared-memory read miss
+    // (request, directory service, fill, resume).
+    for (auto _ : state) {
+        state.PauseTiming();
+        core::MachineConfig cfg;
+        cfg.nprocs = 2;
+        sm::SmMachine m(cfg);
+        Addr a = 0;
+        state.ResumeTiming();
+        m.run([&](sm::SmMachine::Node& n) {
+            if (n.id == 1)
+                a = n.gmallocLocal(4096);
+            n.barrier();
+            if (n.id == 0) {
+                for (int i = 0; i < 64; ++i)
+                    n.rd<double>(a + i * 64);
+            }
+        });
+        benchmark::DoNotOptimize(m.engine().elapsed());
+    }
+}
+BENCHMARK(BM_ProtocolRemoteMiss);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces Tables 16 & 17: the EM3D-SM ablations.
+ *
+ *   Table 16: with a 1 MB cache the main loop drops from 130.0M to
+ *             61.0M cycles — below EM3D-MP — because the working set
+ *             fits and capacity misses vanish.
+ *   Table 17: with local (instead of round-robin) page homing the
+ *             main loop drops to 86.3M cycles; remote misses fall
+ *             from 97% of misses to ~10%.
+ */
+
+#include "apps/em3d.hh"
+#include "bench/bench_util.hh"
+
+using namespace wwt;
+using namespace wwt::bench;
+
+namespace
+{
+
+void
+runVariant(const char* title, const core::MachineConfig& cfg,
+           const apps::Em3dParams& p)
+{
+    sm::SmMachine m(cfg);
+    apps::runEm3dSm(m, p);
+    auto rep = core::collectReport(m.engine(),
+                                   {"Initialization", "Main Loop"});
+    std::printf("%s\n",
+                core::phaseBreakdownTable(title, rep,
+                                          core::smRowsDataAccess())
+                    .c_str());
+    auto c = rep.counts(1);
+    std::printf("main-loop misses: %.0f shared "
+                "(%.0f%% remote), write faults %.0f\n\n",
+                rep.perProc(c.sharedMissLocal + c.sharedMissRemote),
+                100.0 * c.sharedMissRemote /
+                    std::max<std::uint64_t>(
+                        1, c.sharedMissLocal + c.sharedMissRemote),
+                rep.perProc(c.writeFaults));
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options o = parseArgs(argc, argv);
+    apps::Em3dParams p;
+    if (o.small) {
+        p.nodesPerProc = 256;
+        p.degree = 8;
+        p.iters = 10;
+        o.procs = std::min<std::size_t>(o.procs, 8);
+    }
+
+    core::MachineConfig base = paperConfig(o);
+    runVariant("EM3D-SM baseline (256 KB cache, round-robin)", base, p);
+
+    core::MachineConfig big = base;
+    big.cache.bytes = 1024 * 1024;
+    runVariant("Table 16: EM3D-SM with a 1 MB cache", big, p);
+
+    core::MachineConfig local = base;
+    local.allocPolicy = mem::AllocPolicy::Local;
+    runVariant("Table 17: EM3D-SM with local allocation", local, p);
+
+    note("Paper: main loop 130.0M baseline; 61.0M with 1 MB cache; "
+         "86.3M with local allocation (remote misses 97% -> 10%).");
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Quickstart: simulate the same tiny program on both machines and see
+ * where the time goes.
+ *
+ * The program is a 32-processor "global histogram": every processor
+ * generates values, tallies them into 64 shared counters (SM) or
+ * tallies locally and combines with reductions (MP), then everyone
+ * reads the result. It is small enough to read in one sitting but
+ * exercises computation, misses, communication, and synchronization.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/report.hh"
+#include "mp/mp_machine.hh"
+#include "sm/sm_machine.hh"
+
+using namespace wwt;
+
+namespace
+{
+
+constexpr std::size_t kBuckets = 64;
+constexpr std::size_t kValuesPerProc = 2000;
+
+/** Deterministic pseudo-value stream. */
+std::size_t
+bucketOf(NodeId me, std::size_t i)
+{
+    return (me * 2654435761u + i * 40503u) % kBuckets;
+}
+
+} // namespace
+
+int
+main()
+{
+    core::MachineConfig cfg = core::MachineConfig::cm5Like();
+
+    // ---- Message-passing version: local tallies + sum reductions.
+    mp::MpMachine mpm(cfg);
+    mpm.run([&](mp::MpMachine::Node& n) {
+        Addr local = n.mem.alloc(kBuckets * 8);
+        for (std::size_t b = 0; b < kBuckets; ++b)
+            n.mem.write<std::uint64_t>(local + b * 8, 0);
+        for (std::size_t i = 0; i < kValuesPerProc; ++i) {
+            Addr slot = local + bucketOf(n.id, i) * 8;
+            n.mem.write<std::uint64_t>(
+                slot, n.mem.read<std::uint64_t>(slot) + 1);
+            n.charge(6); // hash + increment
+        }
+        // Combine across the machine, one reduction per bucket.
+        double total = 0;
+        for (std::size_t b = 0; b < kBuckets; ++b) {
+            double v = static_cast<double>(
+                n.mem.read<std::uint64_t>(local + b * 8));
+            total += n.coll.allReduce(v, mp::RedOp::Sum);
+        }
+        n.barrier();
+        if (n.id == 0) {
+            std::printf("MP histogram total: %.0f (expect %zu)\n",
+                        total, kValuesPerProc * n.nprocs);
+        }
+    });
+
+    // ---- Shared-memory version: shared counters behind MCS locks.
+    sm::SmMachine smm(cfg);
+    std::vector<std::size_t> locks;
+    for (std::size_t b = 0; b < 8; ++b)
+        locks.push_back(smm.createLock());
+    Addr hist = 0;
+    smm.run([&](sm::SmMachine::Node& n) {
+        if (n.id == 0) {
+            hist = n.gmalloc(kBuckets * 8, kBlockBytes);
+            for (std::size_t b = 0; b < kBuckets; ++b)
+                n.wr<std::uint64_t>(hist + b * 8, 0);
+        }
+        n.startupBarrier();
+        for (std::size_t i = 0; i < kValuesPerProc; ++i) {
+            std::size_t b = bucketOf(n.id, i);
+            n.charge(6);
+            n.lockAcquire(locks[b % locks.size()]);
+            Addr slot = hist + b * 8;
+            n.wr<std::uint64_t>(slot,
+                                n.rd<std::uint64_t>(slot) + 1);
+            n.lockRelease(locks[b % locks.size()]);
+        }
+        n.barrier();
+        if (n.id == 0) {
+            std::uint64_t total = 0;
+            for (std::size_t b = 0; b < kBuckets; ++b)
+                total += n.rd<std::uint64_t>(hist + b * 8);
+            std::printf("SM histogram total: %llu (expect %zu)\n",
+                        static_cast<unsigned long long>(total),
+                        kValuesPerProc * n.nprocs);
+        }
+        n.barrier();
+    });
+
+    // ---- Where did the time go?
+    auto mp_rep = core::collectReport(mpm.engine());
+    auto sm_rep = core::collectReport(smm.engine());
+    std::printf("\n%s\n", core::breakdownTable("Message passing",
+                                               mp_rep, -1,
+                                               core::mpRows())
+                              .c_str());
+    std::printf("%s\n", core::breakdownTable("Shared memory", sm_rep,
+                                             -1, core::smRows())
+                            .c_str());
+    std::printf("MP total %.2fM cycles, SM total %.2fM cycles\n",
+                mp_rep.totalCycles() / 1e6,
+                sm_rep.totalCycles() / 1e6);
+    return 0;
+}

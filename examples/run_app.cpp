@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Command-line runner: execute any of the paper's four applications
+ * on either machine with custom parameters and print the breakdown.
+ *
+ * Usage:
+ *   run_app --app mse|gauss|em3d|lcp|alcp --machine mp|sm
+ *           [--procs N] [--size N] [--iters N] [--local-alloc]
+ *           [--cache-kb N] [--net-gap N] [--tree flat|binary|lop]
+ *
+ * Examples:
+ *   run_app --app em3d --machine sm --procs 16 --cache-kb 1024
+ *   run_app --app gauss --machine mp --tree binary
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/em3d.hh"
+#include "apps/gauss.hh"
+#include "apps/lcp.hh"
+#include "apps/mse.hh"
+#include "core/report.hh"
+
+using namespace wwt;
+
+namespace
+{
+
+struct Cli {
+    std::string app = "em3d";
+    std::string machine = "mp";
+    std::size_t procs = 32;
+    std::size_t size = 0;  // 0 = app default
+    std::size_t iters = 0; // 0 = app default
+    bool localAlloc = false;
+    std::size_t cacheKb = 256;
+    Cycle netGap = 0;
+    std::string tree = "lop";
+};
+
+bool
+parse(int argc, char** argv, Cli& c)
+{
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&](const char* what) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", what);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--app")) {
+            const char* v = next("--app");
+            if (!v)
+                return false;
+            c.app = v;
+        } else if (!std::strcmp(argv[i], "--machine")) {
+            const char* v = next("--machine");
+            if (!v)
+                return false;
+            c.machine = v;
+        } else if (!std::strcmp(argv[i], "--procs")) {
+            const char* v = next("--procs");
+            if (!v)
+                return false;
+            c.procs = std::strtoul(v, nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--size")) {
+            const char* v = next("--size");
+            if (!v)
+                return false;
+            c.size = std::strtoul(v, nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--iters")) {
+            const char* v = next("--iters");
+            if (!v)
+                return false;
+            c.iters = std::strtoul(v, nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--cache-kb")) {
+            const char* v = next("--cache-kb");
+            if (!v)
+                return false;
+            c.cacheKb = std::strtoul(v, nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--net-gap")) {
+            const char* v = next("--net-gap");
+            if (!v)
+                return false;
+            c.netGap = std::strtoul(v, nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--tree")) {
+            const char* v = next("--tree");
+            if (!v)
+                return false;
+            c.tree = v;
+        } else if (!std::strcmp(argv[i], "--local-alloc")) {
+            c.localAlloc = true;
+        } else {
+            std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Cli c;
+    if (!parse(argc, argv, c))
+        return 2;
+
+    core::MachineConfig cfg = core::MachineConfig::cm5Like();
+    cfg.nprocs = c.procs;
+    cfg.cache.bytes = c.cacheKb * 1024;
+    cfg.netGap = c.netGap;
+    if (c.localAlloc)
+        cfg.allocPolicy = mem::AllocPolicy::Local;
+    mp::TreeKind tk = c.tree == "flat"     ? mp::TreeKind::Flat
+                      : c.tree == "binary" ? mp::TreeKind::Binary
+                                           : mp::TreeKind::LopSided;
+
+    bool is_mp = c.machine == "mp";
+    std::unique_ptr<mp::MpMachine> mpm;
+    std::unique_ptr<sm::SmMachine> smm;
+    if (is_mp)
+        mpm = std::make_unique<mp::MpMachine>(cfg, tk);
+    else
+        smm = std::make_unique<sm::SmMachine>(cfg);
+
+    std::vector<std::string> phases{"Init", "Main"};
+    if (c.app == "mse") {
+        apps::MseParams p;
+        if (c.size)
+            p.bodies = c.size;
+        if (c.iters)
+            p.iters = c.iters;
+        if (is_mp)
+            apps::runMseMp(*mpm, p);
+        else
+            apps::runMseSm(*smm, p);
+    } else if (c.app == "gauss") {
+        apps::GaussParams p;
+        if (c.size)
+            p.n = c.size;
+        phases = {"Init", "Solve"};
+        if (is_mp)
+            apps::runGaussMp(*mpm, p);
+        else
+            apps::runGaussSm(*smm, p);
+    } else if (c.app == "em3d") {
+        apps::Em3dParams p;
+        if (c.size)
+            p.nodesPerProc = c.size;
+        if (c.iters)
+            p.iters = c.iters;
+        if (is_mp)
+            apps::runEm3dMp(*mpm, p);
+        else
+            apps::runEm3dSm(*smm, p);
+    } else if (c.app == "lcp" || c.app == "alcp") {
+        apps::LcpParams p;
+        p.async = c.app == "alcp";
+        if (c.size)
+            p.n = c.size;
+        phases = {"Init", "Solve"};
+        apps::LcpResult r;
+        if (is_mp)
+            r = apps::runLcpMp(*mpm, p);
+        else
+            r = apps::runLcpSm(*smm, p);
+        std::printf("converged in %zu steps (complementarity %.2e)\n",
+                    r.steps, r.complementarity);
+    } else {
+        std::fprintf(stderr, "unknown app %s\n", c.app.c_str());
+        return 2;
+    }
+
+    sim::Engine& e = is_mp ? mpm->engine() : smm->engine();
+    auto rep = core::collectReport(e, phases);
+    std::printf("%s\n",
+                core::phaseBreakdownTable(
+                    c.app + " on the " +
+                        (is_mp ? "message-passing" : "shared-memory") +
+                        " machine",
+                    rep, is_mp ? core::mpRows() : core::smRows())
+                    .c_str());
+    std::printf("%s\n",
+                (is_mp ? core::mpCountsTable("Per-processor counts",
+                                             rep)
+                       : core::smCountsTable("Per-processor counts",
+                                             rep))
+                    .c_str());
+    return 0;
+}

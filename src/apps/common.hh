@@ -1,0 +1,50 @@
+#pragma once
+
+/**
+ * @file
+ * Shared helpers for the four application pairs: deterministic RNG
+ * (so both machine versions generate identical problems) and small
+ * math utilities.
+ */
+
+#include <cstdint>
+
+namespace wwt::apps
+{
+
+/** SplitMix64: tiny, deterministic, platform-independent RNG. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ull)
+    {
+    }
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, n). */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace wwt::apps

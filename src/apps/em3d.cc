@@ -1,0 +1,654 @@
+#include "apps/em3d.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "apps/common.hh"
+
+namespace wwt::apps
+{
+
+// ---------------------------------------------------------------------
+// Graph generation
+// ---------------------------------------------------------------------
+
+Em3dGraph
+Em3dGraph::make(const Em3dParams& params, std::size_t nprocs)
+{
+    Em3dGraph g;
+    g.P = nprocs;
+    g.nNodes = params.nodesPerProc;
+    g.degree = params.degree;
+
+    Rng rng(params.seed);
+    auto gen = [&](std::vector<Em3dEdge>& out) {
+        for (NodeId p = 0; p < nprocs; ++p) {
+            for (std::uint32_t i = 0; i < g.nNodes; ++i) {
+                for (std::size_t k = 0; k < g.degree; ++k) {
+                    Em3dEdge e;
+                    e.sp = p;
+                    e.si = i;
+                    e.tp = p;
+                    if (nprocs > 1 &&
+                        rng.below(100) < params.pctRemote) {
+                        // Remote edges go to ring neighbors within
+                        // +-remoteSpan (the paper's programs talk to
+                        // ~2 partners each).
+                        unsigned span = std::max(1u, params.remoteSpan);
+                        long off = 1 + static_cast<long>(
+                                           rng.below(span));
+                        if (rng.below(2))
+                            off = -off;
+                        e.tp = static_cast<NodeId>(
+                            (p + nprocs + off) % nprocs);
+                    }
+                    e.ti = static_cast<std::uint32_t>(
+                        rng.below(g.nNodes));
+                    // Weights scaled so each update is a contraction:
+                    // both versions converge to the same fixed point.
+                    e.w = (0.5 + 0.5 * rng.uniform()) * 0.9 / g.degree;
+                    out.push_back(e);
+                }
+            }
+        }
+    };
+    gen(g.eToH);
+    gen(g.hToE);
+
+    // Channel-safety closure: if p's H values flow to q's E nodes,
+    // ensure q's E values flow back to p's H nodes (and vice versa),
+    // so no processor can run a full epoch ahead of a consumer whose
+    // static channel buffer it would overwrite. At paper scale the
+    // traffic graph is already symmetric; this matters for tiny runs.
+    std::vector<char> he(nprocs * nprocs, 0), eh(nprocs * nprocs, 0);
+    for (const auto& e : g.hToE) {
+        if (e.sp != e.tp)
+            he[e.sp * nprocs + e.tp] = 1;
+    }
+    for (const auto& e : g.eToH) {
+        if (e.sp != e.tp)
+            eh[e.sp * nprocs + e.tp] = 1;
+    }
+    for (NodeId p = 0; p < nprocs; ++p) {
+        for (NodeId q = 0; q < nprocs; ++q) {
+            if (p == q)
+                continue;
+            if (he[p * nprocs + q] && !eh[q * nprocs + p]) {
+                g.eToH.push_back({q,
+                                  static_cast<std::uint32_t>(
+                                      rng.below(g.nNodes)),
+                                  p,
+                                  static_cast<std::uint32_t>(
+                                      rng.below(g.nNodes)),
+                                  0.9 / (2.0 * g.degree)});
+                eh[q * nprocs + p] = 1;
+            }
+            if (eh[p * nprocs + q] && !he[q * nprocs + p]) {
+                g.hToE.push_back({q,
+                                  static_cast<std::uint32_t>(
+                                      rng.below(g.nNodes)),
+                                  p,
+                                  static_cast<std::uint32_t>(
+                                      rng.below(g.nNodes)),
+                                  0.9 / (2.0 * g.degree)});
+                he[q * nprocs + p] = 1;
+            }
+        }
+    }
+    return g;
+}
+
+namespace
+{
+
+constexpr double kSourceTerm = 0.2;
+
+/** Per-direction host view used to lay out the MP data structures. */
+struct DirView {
+    struct InEdge {
+        bool remote;
+        NodeId p;          ///< producer proc
+        std::uint32_t ord; ///< ordinal within the (q, p) ghost group
+        std::uint32_t si;  ///< source node index (local edges)
+        double w;
+    };
+
+    std::size_t P, n;
+    /** send[p][q]: source indices p streams to q, in edge order. */
+    std::vector<std::vector<std::vector<std::uint32_t>>> send;
+    /** in[q][ti]: in-edges of node ti on q, canonical order. */
+    std::vector<std::vector<std::vector<InEdge>>> in;
+    /** ghostBase[q][p]: first ghost slot of producer p on q. */
+    std::vector<std::vector<std::size_t>> ghostBase;
+    std::vector<std::size_t> ghostTotal;
+    std::vector<std::size_t> inTotal;
+
+    DirView(const std::vector<Em3dEdge>& edges, std::size_t nprocs,
+            std::size_t nnodes)
+        : P(nprocs), n(nnodes), send(P), in(P), ghostBase(P),
+          ghostTotal(P, 0), inTotal(P, 0)
+    {
+        for (auto& s : send)
+            s.assign(P, {});
+        for (auto& i : in)
+            i.assign(n, {});
+        std::vector<std::vector<std::size_t>> cnt(P);
+        for (auto& c : cnt)
+            c.assign(P, 0);
+
+        for (const auto& e : edges) {
+            InEdge ie;
+            ie.remote = e.sp != e.tp;
+            ie.p = e.sp;
+            ie.si = e.si;
+            ie.w = e.w;
+            ie.ord = 0;
+            if (ie.remote) {
+                ie.ord = static_cast<std::uint32_t>(cnt[e.tp][e.sp]++);
+                send[e.sp][e.tp].push_back(e.si);
+            }
+            in[e.tp][e.ti].push_back(ie);
+            inTotal[e.tp]++;
+        }
+        for (std::size_t q = 0; q < P; ++q) {
+            ghostBase[q].assign(P, 0);
+            std::size_t run = 0;
+            for (std::size_t p = 0; p < P; ++p) {
+                ghostBase[q][p] = run;
+                run += cnt[q][p];
+            }
+            ghostTotal[q] = run;
+        }
+    }
+};
+
+/** Static channel ids for the two half-step value streams. */
+std::uint32_t
+chanH(NodeId producer) // carries H values (consumed by E updates)
+{
+    return 0x6000u + producer;
+}
+std::uint32_t
+chanE(NodeId producer) // carries E values (consumed by H updates)
+{
+    return 0x6800u + producer;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// EM3D-MP
+// ---------------------------------------------------------------------
+
+Em3dResult
+runEm3dMp(mp::MpMachine& m, const Em3dParams& p)
+{
+    const std::size_t P = m.nprocs();
+    const std::size_t n = p.nodesPerProc;
+    Em3dGraph g = Em3dGraph::make(p, P);
+    DirView dvE(g.hToE, P, n); // feeds E updates (H sources)
+    DirView dvH(g.eToH, P, n); // feeds H updates (E sources)
+
+    Em3dResult res;
+    res.eVals.assign(P * n, 0.0);
+    res.hVals.assign(P * n, 0.0);
+
+    m.run([&](mp::MpMachine::Node& nd) {
+        NodeId me = nd.id;
+        auto& mem = nd.mem;
+
+        // ---- Phase 0: initialization ----
+        Addr hVal = mem.alloc(n * 8, kBlockBytes);
+        Addr eVal = mem.alloc(n * 8, kBlockBytes);
+        Addr ghostE = mem.alloc(
+            std::max<std::size_t>(dvE.ghostTotal[me], 1) * 8,
+            kBlockBytes);
+        Addr ghostH = mem.alloc(
+            std::max<std::size_t>(dvH.ghostTotal[me], 1) * 8,
+            kBlockBytes);
+        Addr edgeE = mem.alloc(
+            std::max<std::size_t>(dvE.inTotal[me], 1) * 16,
+            kBlockBytes);
+        Addr edgeH = mem.alloc(
+            std::max<std::size_t>(dvH.inTotal[me], 1) * 16,
+            kBlockBytes);
+        Addr offE = mem.alloc((n + 1) * 4, kBlockBytes);
+        Addr offH = mem.alloc((n + 1) * 4, kBlockBytes);
+
+        for (std::size_t i = 0; i < n; ++i) {
+            mem.write<double>(hVal + i * 8, 1.0);
+            mem.write<double>(eVal + i * 8, 1.0);
+        }
+
+        // Exchange edge information between every pair of processors
+        // in single bulk messages (Section 5.3.2); record per-edge
+        // {ti, si+w} so the receiver can build its reverse-edge graph.
+        // Message layout: u32 count, then per edge {u32 ti, u32 si,
+        // double w}, for the E-feeding direction then the H-feeding
+        // direction.
+        auto msgBytes = [&](const DirView& dv, NodeId from, NodeId to) {
+            return 8 + dv.send[from][to].size() * 16;
+        };
+        std::vector<Addr> rbuf(P, 0);
+        for (NodeId q = 0; q < P; ++q) {
+            if (q == me)
+                continue;
+            std::size_t bytes = msgBytes(dvE, q, me) +
+                                msgBytes(dvH, q, me);
+            rbuf[q] = mem.alloc(bytes, kBlockBytes);
+            nd.cmmd.postRecv(q, /*tag=*/1, rbuf[q], bytes);
+        }
+        // Marshal and send my out-edge info to each partner.
+        for (NodeId q = 0; q < P; ++q) {
+            if (q == me)
+                continue;
+            std::size_t bytes = msgBytes(dvE, me, q) +
+                                msgBytes(dvH, me, q);
+            Addr sbuf = mem.alloc(bytes, kBlockBytes);
+            Addr w = sbuf;
+            for (const DirView* dv : {&dvE, &dvH}) {
+                // Count word (padded to 8 bytes).
+                mem.write<std::uint32_t>(
+                    w, static_cast<std::uint32_t>(
+                           dv->send[me][q].size()));
+                w += 8;
+                std::size_t k = 0;
+                for (const auto& e :
+                     (dv == &dvE ? g.hToE : g.eToH)) {
+                    if (e.sp != me || e.tp != q)
+                        continue;
+                    mem.write<std::uint32_t>(w, e.ti);
+                    mem.poke<std::uint32_t>(w + 4, e.si);
+                    mem.write<double>(w + 8, e.w);
+                    nd.charge(p.initEdgeCycles);
+                    w += 16;
+                    ++k;
+                }
+                (void)k;
+            }
+            nd.cmmd.send(q, 1, sbuf, bytes);
+        }
+        for (NodeId q = 0; q < P; ++q) {
+            if (q != me)
+                nd.cmmd.waitPosted(q, 1);
+        }
+
+        // Build the in-edge arrays. First pass: in-degrees (local
+        // out-edges plus the received remote-edge info); second pass:
+        // fill, pointing remote edges at their ghost slots.
+        for (const DirView* dv : {&dvE, &dvH}) {
+            bool isE = dv == &dvE;
+            Addr edge = isE ? edgeE : edgeH;
+            Addr off = isE ? offE : offH;
+            Addr ghost = isE ? ghostE : ghostH;
+            Addr srcVals = isE ? hVal : eVal;
+            const auto& edges = isE ? g.hToE : g.eToH;
+
+            std::vector<std::uint32_t> deg(n, 0);
+            // Local edges.
+            for (const auto& e : edges) {
+                if (e.sp == me && e.tp == me) {
+                    deg[e.ti]++;
+                    nd.charge(2);
+                }
+            }
+            // Remote edges: first read of the received edge info.
+            std::size_t dirOff = isE ? 0 : 1;
+            for (NodeId q = 0; q < P; ++q) {
+                if (q == me)
+                    continue;
+                Addr w = rbuf[q];
+                if (dirOff == 1)
+                    w += msgBytes(dvE, q, me);
+                std::uint32_t cnt = mem.read<std::uint32_t>(w);
+                w += 8;
+                for (std::uint32_t k = 0; k < cnt; ++k, w += 16) {
+                    std::uint32_t ti = mem.read<std::uint32_t>(w);
+                    deg[ti]++;
+                    nd.charge(2);
+                }
+            }
+            // Offsets.
+            std::uint32_t run = 0;
+            for (std::size_t i = 0; i <= n; ++i) {
+                mem.write<std::uint32_t>(off + i * 4, run);
+                if (i < n)
+                    run += deg[i];
+            }
+            // Second pass: fill. Cursor per node (private, host).
+            std::vector<std::uint32_t> cur(n, 0);
+            auto offsetOf = [&](std::uint32_t ti) {
+                std::uint32_t base =
+                    mem.read<std::uint32_t>(off + ti * 4);
+                return base + cur[ti]++;
+            };
+            for (const auto& e : edges) {
+                if (e.sp == me && e.tp == me) {
+                    std::uint32_t slot = offsetOf(e.ti);
+                    mem.write<std::uint64_t>(edge + slot * 16,
+                                             srcVals + e.si * 8);
+                    mem.write<double>(edge + slot * 16 + 8, e.w);
+                    nd.charge(p.initEdgeCycles);
+                }
+            }
+            std::vector<std::size_t> gcur(P, 0);
+            for (NodeId q = 0; q < P; ++q) {
+                if (q == me)
+                    continue;
+                Addr w = rbuf[q];
+                if (dirOff == 1)
+                    w += msgBytes(dvE, q, me);
+                std::uint32_t cnt = mem.read<std::uint32_t>(w);
+                w += 8;
+                for (std::uint32_t k = 0; k < cnt; ++k, w += 16) {
+                    std::uint32_t ti = mem.read<std::uint32_t>(w);
+                    double wt = mem.read<double>(w + 8);
+                    std::uint32_t slot = offsetOf(ti);
+                    std::size_t gslot =
+                        (isE ? dvE : dvH).ghostBase[me][q] + gcur[q]++;
+                    mem.write<std::uint64_t>(edge + slot * 16,
+                                             ghost + gslot * 8);
+                    mem.write<double>(edge + slot * 16 + 8, wt);
+                    nd.charge(p.initEdgeCycles);
+                }
+            }
+        }
+
+        // Open the static ghost-update channels.
+        for (NodeId q = 0; q < P; ++q) {
+            if (q == me)
+                continue;
+            if (std::size_t c = dvE.send[q][me].size()) {
+                nd.chans.openStatic(
+                    chanH(q), ghostE + dvE.ghostBase[me][q] * 8, c * 8);
+            }
+            if (std::size_t c = dvH.send[q][me].size()) {
+                nd.chans.openStatic(
+                    chanE(q), ghostH + dvH.ghostBase[me][q] * 8, c * 8);
+            }
+        }
+        // Staging buffer for outgoing value gathers.
+        std::size_t maxSend = 1;
+        for (NodeId q = 0; q < P; ++q) {
+            maxSend = std::max({maxSend, dvE.send[me][q].size(),
+                                dvH.send[me][q].size()});
+        }
+        Addr staging = mem.alloc(maxSend * 8, kBlockBytes);
+
+        nd.barrier();
+        nd.setPhase(1);
+
+        // ---- Phase 1: main loop ----
+        auto halfStep = [&](const DirView& dv, Addr srcVals,
+                            Addr dstVals, Addr edge, Addr off,
+                            std::uint32_t (*chan)(NodeId),
+                            std::size_t t) {
+            // Send my source values to every consumer, in bulk.
+            for (NodeId q = 0; q < P; ++q) {
+                if (q == me || dv.send[me][q].empty())
+                    continue;
+                const auto& list = dv.send[me][q];
+                for (std::size_t k = 0; k < list.size(); ++k) {
+                    double v =
+                        mem.read<double>(srcVals + list[k] * 8);
+                    mem.write<double>(staging + k * 8, v);
+                }
+                nd.charge(2 * list.size());
+                nd.chans.write(q, chan(me), staging, list.size() * 8);
+            }
+            // Wait for my ghosts to reach epoch t.
+            for (NodeId q = 0; q < P; ++q) {
+                if (q != me && !dv.send[q][me].empty())
+                    nd.chans.waitEpochs(chan(q), t);
+            }
+            // Update my sink nodes; all accesses are local now.
+            for (std::size_t i = 0; i < n; ++i) {
+                std::uint32_t b = mem.read<std::uint32_t>(off + i * 4);
+                std::uint32_t e =
+                    mem.read<std::uint32_t>(off + (i + 1) * 4);
+                double acc = 0;
+                for (std::uint32_t k = b; k < e; ++k) {
+                    Addr src =
+                        mem.read<std::uint64_t>(edge + k * 16);
+                    double w = mem.read<double>(edge + k * 16 + 8);
+                    acc += w * mem.read<double>(src);
+                }
+                nd.charge((e - b) * p.edgeCycles + p.nodeCycles);
+                mem.write<double>(dstVals + i * 8, kSourceTerm + acc);
+            }
+        };
+
+        for (std::size_t t = 1; t <= p.iters; ++t) {
+            halfStep(dvE, hVal, eVal, edgeE, offE, chanH, t);
+            halfStep(dvH, eVal, hVal, edgeH, offH, chanE, t);
+        }
+        nd.barrier();
+
+        for (std::size_t i = 0; i < n; ++i) {
+            res.eVals[me * n + i] = mem.peek<double>(eVal + i * 8);
+            res.hVals[me * n + i] = mem.peek<double>(hVal + i * 8);
+        }
+    });
+
+    for (double v : res.eVals)
+        res.checksum += v;
+    for (double v : res.hVals)
+        res.checksum += v;
+    return res;
+}
+
+// ---------------------------------------------------------------------
+// EM3D-SM
+// ---------------------------------------------------------------------
+
+Em3dResult
+runEm3dSm(sm::SmMachine& m, const Em3dParams& p)
+{
+    const std::size_t P = m.nprocs();
+    const std::size_t n = p.nodesPerProc;
+    Em3dGraph g = Em3dGraph::make(p, P);
+    DirView dvE(g.hToE, P, n);
+    DirView dvH(g.eToH, P, n);
+
+    Em3dResult res;
+    res.eVals.assign(P * n, 0.0);
+    res.hVals.assign(P * n, 0.0);
+
+    // Per-proc shared regions (index by proc id; host-shared Addrs).
+    std::vector<Addr> eVal(P), hVal(P), edgeE(P), edgeH(P), offE(P),
+        offH(P), degE(P), degH(P), curE(P), curH(P);
+
+    constexpr std::size_t kLocksPerProc = 4;
+    std::vector<std::size_t> locks;
+    for (std::size_t i = 0; i < P * kLocksPerProc; ++i)
+        locks.push_back(m.createLock());
+    auto lockOf = [&](NodeId q, std::uint32_t ti) {
+        return locks[q * kLocksPerProc + ti % kLocksPerProc];
+    };
+
+    m.run([&](sm::SmMachine::Node& nd) {
+        NodeId me = nd.id;
+        auto& mem = nd.mem;
+
+        // ---- Phase 0: initialization ----
+        // Every processor allocates its slice of the shared graph.
+        // Under the default round-robin gmalloc the pages scatter
+        // across the machine (Table 14); under the local policy they
+        // stay home (Table 17).
+        eVal[me] = nd.gmalloc(n * 8, kBlockBytes);
+        hVal[me] = nd.gmalloc(n * 8, kBlockBytes);
+        edgeE[me] = nd.gmalloc(
+            std::max<std::size_t>(dvE.inTotal[me], 1) * 16, kBlockBytes);
+        edgeH[me] = nd.gmalloc(
+            std::max<std::size_t>(dvH.inTotal[me], 1) * 16, kBlockBytes);
+        offE[me] = nd.gmalloc((n + 1) * 4, kBlockBytes);
+        offH[me] = nd.gmalloc((n + 1) * 4, kBlockBytes);
+        degE[me] = nd.gmalloc(n * 4, kBlockBytes);
+        degH[me] = nd.gmalloc(n * 4, kBlockBytes);
+        curE[me] = nd.gmalloc(n * 4, kBlockBytes);
+        curH[me] = nd.gmalloc(n * 4, kBlockBytes);
+
+        for (std::size_t i = 0; i < n; ++i) {
+            nd.wr<double>(eVal[me] + i * 8, 1.0);
+            nd.wr<double>(hVal[me] + i * 8, 1.0);
+            nd.wr<std::uint32_t>(degE[me] + i * 4, 0);
+            nd.wr<std::uint32_t>(degH[me] + i * 4, 0);
+            nd.wr<std::uint32_t>(curE[me] + i * 4, 0);
+            nd.wr<std::uint32_t>(curH[me] + i * 4, 0);
+        }
+        nd.barrier();
+
+        // Pass 1: every processor walks its out-edges and increments
+        // the (possibly remote) sink's in-degree under a lock.
+        auto countPass = [&](const std::vector<Em3dEdge>& edges,
+                             std::vector<Addr>& deg) {
+            for (const auto& e : edges) {
+                if (e.sp != me)
+                    continue;
+                nd.lockAcquire(lockOf(e.tp, e.ti));
+                std::uint32_t d =
+                    nd.rd<std::uint32_t>(deg[e.tp] + e.ti * 4);
+                nd.wr<std::uint32_t>(deg[e.tp] + e.ti * 4, d + 1);
+                nd.lockRelease(lockOf(e.tp, e.ti));
+                nd.charge(p.initEdgeCycles / 2 + 1);
+            }
+        };
+        countPass(g.hToE, degE);
+        countPass(g.eToH, degH);
+        nd.barrier();
+
+        // Pass 2: each processor prefix-sums its own nodes' degrees.
+        auto prefixPass = [&](Addr deg, Addr off) {
+            std::uint32_t run = 0;
+            for (std::size_t i = 0; i <= n; ++i) {
+                nd.wr<std::uint32_t>(off + i * 4, run);
+                if (i < n)
+                    run += nd.rd<std::uint32_t>(deg + i * 4);
+                nd.charge(3);
+            }
+        };
+        prefixPass(degE[me], offE[me]);
+        prefixPass(degH[me], offH[me]);
+        nd.barrier();
+
+        // Pass 3: second reference to the edge info — fill the sink's
+        // edge array (remote writes under the same locks).
+        auto fillPass = [&](const std::vector<Em3dEdge>& edges,
+                            std::vector<Addr>& srcVals,
+                            std::vector<Addr>& edge,
+                            std::vector<Addr>& off,
+                            std::vector<Addr>& cur) {
+            for (const auto& e : edges) {
+                if (e.sp != me)
+                    continue;
+                nd.lockAcquire(lockOf(e.tp, e.ti));
+                std::uint32_t base =
+                    nd.rd<std::uint32_t>(off[e.tp] + e.ti * 4);
+                std::uint32_t c =
+                    nd.rd<std::uint32_t>(cur[e.tp] + e.ti * 4);
+                nd.wr<std::uint32_t>(cur[e.tp] + e.ti * 4, c + 1);
+                Addr slot = edge[e.tp] +
+                            static_cast<Addr>(base + c) * 16;
+                nd.wr<std::uint64_t>(slot, srcVals[e.sp] + e.si * 8);
+                nd.wr<double>(slot + 8, e.w);
+                nd.lockRelease(lockOf(e.tp, e.ti));
+                nd.charge(p.initEdgeCycles / 2 + 1);
+            }
+        };
+        fillPass(g.hToE, hVal, edgeE, offE, curE);
+        fillPass(g.eToH, eVal, edgeH, offH, curH);
+
+        // The "few barriers that prevent premature access".
+        nd.barrier();
+        nd.setPhase(1);
+
+        // Bulk-update extension: precompute, per consumer, the runs
+        // of value blocks it reads from me (host-side; the real
+        // system would build these lists during initialization).
+        struct PushRun {
+            NodeId q;
+            Addr addr;
+            std::size_t bytes;
+        };
+        std::vector<PushRun> pushAfterE, pushAfterH;
+        if (p.smBulkUpdate) {
+            auto build = [&](const DirView& dv, Addr base,
+                             std::vector<PushRun>& out) {
+                for (NodeId q = 0; q < P; ++q) {
+                    if (q == me || dv.send[me][q].empty())
+                        continue;
+                    std::vector<Addr> blocks;
+                    for (std::uint32_t si : dv.send[me][q])
+                        blocks.push_back((base + si * 8) /
+                                         kBlockBytes);
+                    std::sort(blocks.begin(), blocks.end());
+                    blocks.erase(
+                        std::unique(blocks.begin(), blocks.end()),
+                        blocks.end());
+                    std::size_t i = 0;
+                    while (i < blocks.size()) {
+                        std::size_t j = i;
+                        while (j + 1 < blocks.size() &&
+                               blocks[j + 1] == blocks[j] + 1)
+                            ++j;
+                        out.push_back(
+                            {q, blocks[i] * kBlockBytes,
+                             (j - i + 1) * kBlockBytes});
+                        i = j + 1;
+                    }
+                }
+            };
+            // After the E half-step, consumers need my eVal blocks
+            // (they feed H updates); after H, my hVal blocks.
+            build(dvH, eVal[me], pushAfterE);
+            build(dvE, hVal[me], pushAfterH);
+        }
+
+        // ---- Phase 1: main loop ----
+        auto halfStep = [&](Addr edge, Addr off, Addr dstVals) {
+            for (std::size_t i = 0; i < n; ++i) {
+                std::uint32_t b =
+                    nd.rd<std::uint32_t>(off + i * 4);
+                std::uint32_t e =
+                    nd.rd<std::uint32_t>(off + (i + 1) * 4);
+                double acc = 0;
+                for (std::uint32_t k = b; k < e; ++k) {
+                    Addr src = nd.rd<std::uint64_t>(edge + k * 16);
+                    double w = nd.rd<double>(edge + k * 16 + 8);
+                    acc += w * nd.rd<double>(src);
+                }
+                nd.charge((e - b) * p.edgeCycles + p.nodeCycles);
+                nd.wr<double>(dstVals + i * 8, kSourceTerm + acc);
+            }
+        };
+
+        auto pushAll = [&](const std::vector<PushRun>& runs) {
+            for (const PushRun& r : runs)
+                m.protocol().pushUpdate(nd.proc, r.addr, r.bytes, r.q);
+        };
+
+        for (std::size_t t = 1; t <= p.iters; ++t) {
+            nd.barrier(); // producers' H writes complete
+            halfStep(edgeE[me], offE[me], eVal[me]);
+            pushAll(pushAfterE);
+            nd.barrier(); // E writes complete
+            halfStep(edgeH[me], offH[me], hVal[me]);
+            pushAll(pushAfterH);
+        }
+        nd.barrier();
+
+        for (std::size_t i = 0; i < n; ++i) {
+            res.eVals[me * n + i] = mem.peek<double>(eVal[me] + i * 8);
+            res.hVals[me * n + i] = mem.peek<double>(hVal[me] + i * 8);
+        }
+    });
+
+    for (double v : res.eVals)
+        res.checksum += v;
+    for (double v : res.hVals)
+        res.checksum += v;
+    return res;
+}
+
+} // namespace wwt::apps

@@ -1,0 +1,57 @@
+#pragma once
+
+/**
+ * @file
+ * Gaussian elimination (Gauss, Section 5.2).
+ *
+ * Solves a dense linear system with partial pivoting: a forward
+ * elimination phase (per column: max-reduction to select the pivot,
+ * broadcast of the pivot row, local row updates) and a backward
+ * substitution phase (per variable: the owner computes its value and
+ * broadcasts it). Rows are distributed blockwise and never
+ * redistributed; a local mask tracks which rows have been used as
+ * pivots.
+ *
+ * Paper workload: 512 variables, 32 processors. Each processor fills
+ * its rows with seeded random numbers; the right-hand side is built
+ * from a known solution vector so the answer is verifiable.
+ *
+ * Gauss-MP implements the reduction and broadcast in software (flat /
+ * binary / LogP lop-sided tree — the Section 5.2 ablation). Gauss-SM
+ * uses MCS-style reductions and "write + barrier + everyone reads"
+ * broadcasts through shared memory.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "mp/mp_machine.hh"
+#include "sm/sm_machine.hh"
+
+namespace wwt::apps
+{
+
+/** Gauss workload parameters (defaults = the paper's run). */
+struct GaussParams {
+    std::size_t n = 512;   ///< variables; multiple of nprocs
+    std::uint64_t seed = 12345;
+    /** Modeled cycles per row-update element (mul + sub + indexing). */
+    Cycle elemCycles = 25;
+};
+
+/** Result of one Gauss run. */
+struct GaussResult {
+    std::vector<double> x;  ///< computed solution
+    double maxErr = 0;      ///< vs. the known solution
+};
+
+/** The known solution the RHS is built from. */
+double gaussKnownX(std::size_t i);
+
+/** Run Gauss on the message-passing machine (Gauss-MP). */
+GaussResult runGaussMp(mp::MpMachine& m, const GaussParams& p);
+
+/** Run Gauss on the shared-memory machine (Gauss-SM). */
+GaussResult runGaussSm(sm::SmMachine& m, const GaussParams& p);
+
+} // namespace wwt::apps

@@ -1,0 +1,68 @@
+#pragma once
+
+/**
+ * @file
+ * Linear Complementarity Problem via multi-sweep successive
+ * over-relaxation (Section 5.4, after De Leone et al. [14]).
+ *
+ * Find z >= 0 with w = Mz + q >= 0 and z'w = 0, for a symmetric
+ * sparse M with uniform non-zeros per row (a ring band), solved with
+ * projected SOR: z_i <- max(0, z_i - omega (Mz + q)_i / M_ii).
+ *
+ * Rows are divided blockwise. Each *step* runs a fixed number of
+ * Gauss-Seidel sweeps on the local rows against a local copy of the
+ * solution vector, then updates the global solution and tests
+ * convergence with a reduction:
+ *
+ *  - LCP-MP: log(P) pairwise channel exchanges (recursive doubling)
+ *    rebuild the local copies; reductions use the active-message tree.
+ *  - LCP-SM: the global vector lives in shared memory; processors
+ *    copy their local buffer into it and barrier.
+ *
+ * The asynchronous variants make new values visible immediately:
+ *  - ALCP-MP: a star of bulk channel updates after *every* sweep.
+ *  - ALCP-SM: sweeps write the global vector directly; processors
+ *    only synchronize at the per-step convergence test.
+ *
+ * As in the paper, the asynchronous versions converge in fewer steps
+ * but move far more data and run slower end to end.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "mp/mp_machine.hh"
+#include "sm/sm_machine.hh"
+
+namespace wwt::apps
+{
+
+/** LCP workload parameters (defaults = the paper's run). */
+struct LcpParams {
+    std::size_t n = 4096;        ///< variables; multiple of nprocs
+    std::size_t halfBand = 32;   ///< off-diagonals per side (ring)
+    std::size_t sweepsPerStep = 5;
+    std::size_t maxSteps = 200;
+    double omega = 1.2;
+    double tol = 1e-6;           ///< max |dz| convergence threshold
+    std::uint64_t seed = 7;
+    bool async = false;          ///< ALCP variant
+    Cycle elemCycles = 20;       ///< per non-zero in a row update
+    Cycle rowCycles = 12;        ///< per row (projection, indexing)
+};
+
+/** Result of one LCP run. */
+struct LcpResult {
+    std::vector<double> z;  ///< final solution
+    std::size_t steps = 0;  ///< steps until convergence
+    double residual = 0;    ///< final max |dz|
+    double complementarity = 0; ///< max_i |min(z_i, (Mz+q)_i)|
+};
+
+/** Run LCP/ALCP on the message-passing machine. */
+LcpResult runLcpMp(mp::MpMachine& m, const LcpParams& p);
+
+/** Run LCP/ALCP on the shared-memory machine. */
+LcpResult runLcpSm(sm::SmMachine& m, const LcpParams& p);
+
+} // namespace wwt::apps

@@ -1,0 +1,63 @@
+#pragma once
+
+/**
+ * @file
+ * Microstructure Electrostatics (MSE, Section 5.1).
+ *
+ * A boundary-integral N-body solver: N bodies, each discretized into
+ * M boundary elements; the (NM)^2 system matrix is too large to store
+ * and is recomputed as needed; the system is solved with parallel
+ * asynchronous Jacobi iterations. Communication flows through the
+ * solution vector, thinned by a distance-based exchange schedule:
+ * distant bodies interact weakly and exchange values less often.
+ *
+ * Paper workload: 256 bodies x 20 elements, 20 iterations, 32
+ * processors. The physics kernel is a documented synthetic
+ * substitution (see DESIGN.md): bodies on a ring, kernel
+ * w_s / (eps + dist^2), right-hand side built so the exact solution
+ * is the all-ones vector — which makes convergence verifiable.
+ *
+ * MSE-MP keeps a local copy of the solution vector per processor and
+ * pulls fresh values with asynchronous request active messages
+ * answered by channel writes. MSE-SM reads one global solution vector
+ * in shared memory and publishes its own section per schedule.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "mp/mp_machine.hh"
+#include "sm/sm_machine.hh"
+
+namespace wwt::apps
+{
+
+/** MSE workload parameters (defaults = the paper's run). */
+struct MseParams {
+    std::size_t bodies = 256;       ///< N; multiple of nprocs
+    std::size_t elemsPerBody = 20;  ///< M
+    std::size_t iters = 20;
+    /** Exchange schedule: ring distance -> exchange period. */
+    std::size_t nearDist = 1;       ///< d <= nearDist: every iteration
+    std::size_t midDist = 8;        ///< d <= midDist: every midPeriod
+    std::size_t midPeriod = 2;
+    std::size_t farPeriod = 2;
+    /** Serial geometry-setup cost (per node on MP; node 0 on SM). */
+    Cycle geomInitCycles = 72'000'000;
+    /** Modeled cycles per kernel interaction (matrix recompute). */
+    Cycle interactionCycles = 58;
+};
+
+/** Result of one MSE run (for verification/cross-checking). */
+struct MseResult {
+    std::vector<double> solution; ///< final x, length N*M
+    double maxErrFromOnes = 0;    ///< convergence check
+};
+
+/** Run MSE on the message-passing machine (MSE-MP). */
+MseResult runMseMp(mp::MpMachine& m, const MseParams& p);
+
+/** Run MSE on the shared-memory machine (MSE-SM). */
+MseResult runMseSm(sm::SmMachine& m, const MseParams& p);
+
+} // namespace wwt::apps

@@ -1,0 +1,296 @@
+#include "core/report.hh"
+
+#include <algorithm>
+
+#include "stats/table.hh"
+
+namespace wwt::core
+{
+
+using stats::Category;
+
+double
+MachineReport::cycles(Category cat, int phase) const
+{
+    std::size_t c = static_cast<std::size_t>(cat);
+    if (phase >= 0)
+        return phaseCycles.at(static_cast<std::size_t>(phase))[c];
+    double t = 0;
+    for (const auto& p : phaseCycles)
+        t += p[c];
+    return t;
+}
+
+double
+MachineReport::totalCycles(int phase) const
+{
+    double t = 0;
+    for (std::size_t c = 0; c < stats::kNumCategories; ++c)
+        t += cycles(static_cast<Category>(c), phase);
+    return t;
+}
+
+stats::Counts
+MachineReport::counts(int phase) const
+{
+    if (phase >= 0)
+        return phaseCounts.at(static_cast<std::size_t>(phase));
+    stats::Counts t;
+    for (const auto& p : phaseCounts)
+        t += p;
+    return t;
+}
+
+MachineReport
+collectReport(sim::Engine& engine, std::vector<std::string> phase_names)
+{
+    MachineReport rep;
+    rep.nprocs = engine.numProcs();
+    rep.elapsed = engine.elapsed();
+
+    std::size_t nphases = 1;
+    for (NodeId i = 0; i < rep.nprocs; ++i)
+        nphases = std::max(nphases, engine.proc(i).stats().numPhases());
+
+    rep.phaseCycles.assign(nphases, {});
+    rep.phaseCounts.assign(nphases, {});
+    rep.phaseNames = std::move(phase_names);
+    while (rep.phaseNames.size() < nphases)
+        rep.phaseNames.push_back("phase " +
+                                 std::to_string(rep.phaseNames.size()));
+
+    for (NodeId i = 0; i < rep.nprocs; ++i) {
+        const stats::ProcStats& ps = engine.proc(i).stats();
+        for (std::size_t ph = 0; ph < ps.numPhases(); ++ph) {
+            const stats::PhaseStats& s = ps.phase(ph);
+            for (std::size_t c = 0; c < stats::kNumCategories; ++c) {
+                rep.phaseCycles[ph][c] +=
+                    static_cast<double>(s.cycles[c]) / rep.nprocs;
+            }
+            rep.phaseCounts[ph] += s.counts;
+        }
+    }
+    return rep;
+}
+
+std::vector<RowSpec>
+mpRows()
+{
+    using C = Category;
+    return {
+        {"Computation", 0, {C::Computation, C::TlbMiss}},
+        {"Local Misses", 0, {C::LocalMiss}},
+        {"Communication", 0, {C::LibComp, C::LibMiss, C::NetAccess}},
+        {"Lib Comp", 1, {C::LibComp}},
+        {"Lib Misses", 1, {C::LibMiss}},
+        {"Network Access", 1, {C::NetAccess}},
+        {"Barrier", 0, {C::Barrier, C::StartupWait}},
+    };
+}
+
+std::vector<RowSpec>
+smRows()
+{
+    using C = Category;
+    return {
+        {"Computation", 0, {C::Computation}},
+        {"Cache Misses", 0,
+         {C::LocalMiss, C::SharedMiss, C::WriteFault, C::TlbMiss}},
+        {"Synchronization", 0,
+         {C::SyncComp, C::SyncMiss, C::Lock, C::Reduction, C::Barrier,
+          C::StartupWait}},
+        {"Sync Comp", 1, {C::SyncComp}},
+        {"Sync Miss", 1, {C::SyncMiss}},
+        {"Locks", 1, {C::Lock}},
+        {"Reductions", 1, {C::Reduction}},
+        {"Barrier", 1, {C::Barrier}},
+        {"Start-up Wait", 1, {C::StartupWait}},
+    };
+}
+
+std::vector<RowSpec>
+smRowsDataAccess()
+{
+    using C = Category;
+    return {
+        {"Computation", 0, {C::Computation}},
+        {"Data Access", 0,
+         {C::LocalMiss, C::SharedMiss, C::WriteFault, C::TlbMiss}},
+        {"Shared Misses", 1, {C::SharedMiss}},
+        {"Write Faults", 1, {C::WriteFault}},
+        {"TLB Misses", 1, {C::TlbMiss}},
+        {"Synchronization", 0,
+         {C::SyncComp, C::SyncMiss, C::Lock, C::Reduction, C::Barrier,
+          C::StartupWait}},
+        {"Sync Comp", 1, {C::SyncComp}},
+        {"Locks", 1, {C::Lock}},
+        {"Barriers", 1, {C::Barrier}},
+    };
+}
+
+namespace
+{
+
+double
+rowCycles(const MachineReport& rep, const RowSpec& row, int phase)
+{
+    double t = 0;
+    for (Category c : row.cats)
+        t += rep.cycles(c, phase);
+    return t;
+}
+
+std::string
+fmtM(double cycles)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", cycles / 1e6);
+    return buf;
+}
+
+std::string
+fmtCnt(double v)
+{
+    return stats::fmtCount(static_cast<std::uint64_t>(v + 0.5));
+}
+
+} // namespace
+
+std::string
+breakdownTable(const std::string& title, const MachineReport& rep,
+               int phase, const std::vector<RowSpec>& rows,
+               const std::pair<std::string, double>* relative)
+{
+    double total = 0;
+    for (const auto& r : rows) {
+        if (r.indent == 0)
+            total += rowCycles(rep, r, phase);
+    }
+
+    stats::Table t(title);
+    t.setHeader({"Category", "Cycles (M)", "%"});
+    for (const auto& r : rows) {
+        double c = rowCycles(rep, r, phase);
+        if (r.indent > 0 && c == 0)
+            continue; // omit empty detail rows, as the paper does
+        t.addRow({stats::indentLabel(r.label, r.indent), fmtM(c),
+                  stats::fmtPct(total > 0 ? c / total : 0)});
+    }
+    t.addRule();
+    t.addRow({"Total", fmtM(total), "100%"});
+    if (relative) {
+        t.addRow({relative->first, "",
+                  stats::fmtPct(relative->second)});
+    }
+    return t.str();
+}
+
+std::string
+phaseBreakdownTable(const std::string& title, const MachineReport& rep,
+                    const std::vector<RowSpec>& rows)
+{
+    std::size_t nphases = rep.phaseCycles.size();
+    std::vector<double> totals(nphases + 1, 0);
+    for (const auto& r : rows) {
+        if (r.indent != 0)
+            continue;
+        for (std::size_t ph = 0; ph < nphases; ++ph)
+            totals[ph] += rowCycles(rep, r, static_cast<int>(ph));
+        totals[nphases] += rowCycles(rep, r, -1);
+    }
+
+    stats::Table t(title);
+    std::vector<std::string> header{"Category"};
+    for (std::size_t ph = 0; ph < nphases; ++ph) {
+        header.push_back(rep.phaseNames[ph] + " (M)");
+        header.push_back("%");
+    }
+    header.push_back("Total (M)");
+    header.push_back("%");
+    t.setHeader(header);
+
+    for (const auto& r : rows) {
+        if (r.indent > 0 && rowCycles(rep, r, -1) == 0)
+            continue;
+        std::vector<std::string> cells{
+            stats::indentLabel(r.label, r.indent)};
+        for (std::size_t ph = 0; ph < nphases; ++ph) {
+            double c = rowCycles(rep, r, static_cast<int>(ph));
+            cells.push_back(fmtM(c));
+            cells.push_back(
+                stats::fmtPct(totals[ph] > 0 ? c / totals[ph] : 0));
+        }
+        double c = rowCycles(rep, r, -1);
+        cells.push_back(fmtM(c));
+        cells.push_back(
+            stats::fmtPct(totals[nphases] > 0 ? c / totals[nphases] : 0));
+        t.addRow(cells);
+    }
+    t.addRule();
+    std::vector<std::string> cells{"Total"};
+    for (std::size_t ph = 0; ph <= nphases; ++ph) {
+        cells.push_back(fmtM(totals[ph]));
+        cells.push_back("100%");
+    }
+    t.addRow(cells);
+    return t.str();
+}
+
+std::string
+mpCountsTable(const std::string& title, const MachineReport& rep,
+              int phase)
+{
+    stats::Counts c = rep.counts(phase);
+    double comp = rep.cycles(Category::Computation, phase);
+    double data = rep.perProc(c.bytesData);
+
+    stats::Table t(title);
+    t.addRow({"Local Misses", fmtCnt(rep.perProc(c.privMisses))});
+    t.addRow({"Message Counts", ""});
+    t.addRow({stats::indentLabel("Channel Writes", 1),
+              fmtCnt(rep.perProc(c.channelWrites))});
+    t.addRow({stats::indentLabel("Active Messages", 1),
+              fmtCnt(rep.perProc(c.activeMsgs))});
+    t.addRow({"Bytes Transmitted",
+              fmtCnt(rep.perProc(c.bytesData + c.bytesCtrl))});
+    t.addRow({stats::indentLabel("Data", 1),
+              fmtCnt(rep.perProc(c.bytesData))});
+    t.addRow({stats::indentLabel("Control", 1),
+              fmtCnt(rep.perProc(c.bytesCtrl))});
+    t.addRow({"Computation Cycles Per Data Byte",
+              data > 0 ? fmtCnt(comp / data) : "-"});
+    return t.str();
+}
+
+std::string
+smCountsTable(const std::string& title, const MachineReport& rep,
+              int phase)
+{
+    stats::Counts c = rep.counts(phase);
+    double comp = rep.cycles(Category::Computation, phase);
+    double data = rep.perProc(c.bytesData);
+
+    stats::Table t(title);
+    t.addRow({"Cache Misses", ""});
+    t.addRow({stats::indentLabel("Private Misses", 1),
+              fmtCnt(rep.perProc(c.privMisses))});
+    t.addRow({stats::indentLabel("Shared Misses", 1),
+              fmtCnt(rep.perProc(c.sharedMissLocal +
+                                 c.sharedMissRemote))});
+    t.addRow({stats::indentLabel("Local", 2),
+              fmtCnt(rep.perProc(c.sharedMissLocal))});
+    t.addRow({stats::indentLabel("Remote", 2),
+              fmtCnt(rep.perProc(c.sharedMissRemote))});
+    t.addRow({"Write Faults", fmtCnt(rep.perProc(c.writeFaults))});
+    t.addRow({"Bytes Transmitted",
+              fmtCnt(rep.perProc(c.bytesData + c.bytesCtrl))});
+    t.addRow({stats::indentLabel("Data", 1),
+              fmtCnt(rep.perProc(c.bytesData))});
+    t.addRow({stats::indentLabel("Control", 1),
+              fmtCnt(rep.perProc(c.bytesCtrl))});
+    t.addRow({"Computation Cycles Per Data Byte",
+              data > 0 ? fmtCnt(comp / data) : "-"});
+    return t.str();
+}
+
+} // namespace wwt::core

@@ -1,0 +1,102 @@
+#pragma once
+
+/**
+ * @file
+ * Run reports: per-category cycle averages and event counts in the
+ * shape of the paper's tables.
+ *
+ * The paper reports cycles "as an average over all processors"
+ * (Section 5.1) with a percentage of the total, plus per-processor
+ * event-count tables. collectReport() gathers both from a finished
+ * engine; the table builders render any grouping of categories as a
+ * breakdown table, including the per-phase variant used for EM3D
+ * (initialization / main loop / total).
+ */
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hh"
+#include "stats/category.hh"
+#include "stats/counts.hh"
+
+namespace wwt::core
+{
+
+/** Averaged (over processors) statistics for one run. */
+struct MachineReport {
+    std::size_t nprocs = 0;
+    std::vector<std::string> phaseNames;
+    /** Per-phase, per-category cycles, averaged over processors. */
+    std::vector<std::array<double, stats::kNumCategories>> phaseCycles;
+    /** Per-phase event counts, averaged over processors. */
+    std::vector<stats::Counts> phaseCounts; ///< sums; divide by nprocs
+    Cycle elapsed = 0;
+
+    /** Average cycles in @p cat for phase @p phase (-1 = all). */
+    double cycles(stats::Category cat, int phase = -1) const;
+
+    /** Average total cycles for phase @p phase (-1 = all). */
+    double totalCycles(int phase = -1) const;
+
+    /** Summed counts for phase @p phase (-1 = all). */
+    stats::Counts counts(int phase = -1) const;
+
+    /** Per-processor average of a summed count. */
+    double
+    perProc(std::uint64_t summed) const
+    {
+        return nprocs ? static_cast<double>(summed) / nprocs : 0.0;
+    }
+};
+
+/** Gather a report from a finished simulation. */
+MachineReport collectReport(sim::Engine& engine,
+                            std::vector<std::string> phase_names = {});
+
+/** One row of a breakdown table. */
+struct RowSpec {
+    std::string label;
+    int indent = 0; ///< 0 = top level (sums into the table total)
+    std::vector<stats::Category> cats;
+};
+
+/** The canonical message-passing rows (Tables 4, 8, 12, 18). */
+std::vector<RowSpec> mpRows();
+
+/** The canonical shared-memory rows (Tables 5, 19). */
+std::vector<RowSpec> smRows();
+
+/** The EM3D shared-memory rows with the Data Access split (14). */
+std::vector<RowSpec> smRowsDataAccess();
+
+/**
+ * Render a breakdown table for one phase.
+ * @param phase phase index, or -1 for the whole run.
+ * @param relative optional trailing row, e.g.
+ *        {"Relative to Shared Memory", 0.98}.
+ */
+std::string breakdownTable(const std::string& title,
+                           const MachineReport& rep, int phase,
+                           const std::vector<RowSpec>& rows,
+                           const std::pair<std::string, double>*
+                               relative = nullptr);
+
+/**
+ * Render the multi-phase breakdown used by Tables 12/14: one
+ * (cycles, %) column pair per named phase plus a Total pair.
+ */
+std::string phaseBreakdownTable(const std::string& title,
+                                const MachineReport& rep,
+                                const std::vector<RowSpec>& rows);
+
+/** Event-count table for a message-passing run (Tables 6, 10, 13). */
+std::string mpCountsTable(const std::string& title,
+                          const MachineReport& rep, int phase = -1);
+
+/** Event-count table for a shared-memory run (Tables 7, 11, 15). */
+std::string smCountsTable(const std::string& title,
+                          const MachineReport& rep, int phase = -1);
+
+} // namespace wwt::core

@@ -1,0 +1,54 @@
+#pragma once
+
+/**
+ * @file
+ * The target global address space layout.
+ *
+ * Both machines give every node a private region; the shared-memory
+ * machine adds a global shared region whose pages are homed on nodes
+ * by the allocation policy (Section 4.2: round-robin by default, with
+ * the "local allocation" alternative of Table 17).
+ *
+ * Layout (byte addresses):
+ *   [kPrivBase + n*kPrivStride, ... )  private memory of node n
+ *   [kSharedBase, ...)                 globally shared memory
+ */
+
+#include <cassert>
+
+#include "sim/types.hh"
+
+namespace wwt::mem
+{
+
+/** Static partitioning of the 64-bit target address space. */
+struct AddressMap {
+    static constexpr Addr kPrivBase = 0x0000'0100'0000'0000ull;
+    static constexpr Addr kPrivStride = 0x0000'0000'4000'0000ull; // 1 GB
+    static constexpr Addr kSharedBase = 0x0000'8000'0000'0000ull;
+
+    static bool isShared(Addr a) { return a >= kSharedBase; }
+
+    static bool
+    isPrivate(Addr a)
+    {
+        return a >= kPrivBase && a < kSharedBase;
+    }
+
+    /** Node owning a private address. */
+    static NodeId
+    privOwner(Addr a)
+    {
+        assert(isPrivate(a));
+        return static_cast<NodeId>((a - kPrivBase) / kPrivStride);
+    }
+
+    /** Base of node @p n's private region. */
+    static Addr
+    privBase(NodeId n)
+    {
+        return kPrivBase + static_cast<Addr>(n) * kPrivStride;
+    }
+};
+
+} // namespace wwt::mem

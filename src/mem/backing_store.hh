@@ -1,0 +1,89 @@
+#pragma once
+
+/**
+ * @file
+ * The target machine's physical memory contents.
+ *
+ * Direct execution requires the target program to really compute: the
+ * values it loads and stores live here, addressed by 64-bit target
+ * addresses. Storage is allocated lazily in 64 KB chunks and zero
+ * initialized, so sparse address spaces (per-node private regions plus
+ * a global shared region) cost only what they touch.
+ */
+
+#include <cassert>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace wwt::mem
+{
+
+/** Lazily-allocated, chunked target memory. */
+class BackingStore
+{
+  public:
+    static constexpr unsigned kChunkBits = 16; // 64 KB chunks
+    static constexpr Addr kChunkBytes = Addr{1} << kChunkBits;
+    static constexpr Addr kChunkMask = kChunkBytes - 1;
+
+    /** Load a trivially-copyable value at naturally-aligned @p a. */
+    template <typename T>
+    T
+    read(Addr a)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        assert((a & (sizeof(T) - 1)) == 0 && "unaligned target access");
+        T v;
+        std::memcpy(&v, ptr(a), sizeof(T));
+        return v;
+    }
+
+    /** Store a trivially-copyable value at naturally-aligned @p a. */
+    template <typename T>
+    void
+    write(Addr a, T v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        assert((a & (sizeof(T) - 1)) == 0 && "unaligned target access");
+        std::memcpy(ptr(a), &v, sizeof(T));
+    }
+
+    /** Copy @p n bytes out of target memory into host memory. */
+    void readBytes(void* dst, Addr src, std::size_t n);
+
+    /** Copy @p n bytes of host memory into target memory. */
+    void writeBytes(Addr dst, const void* src, std::size_t n);
+
+    /** Copy @p n bytes between target addresses. */
+    void copy(Addr dst, Addr src, std::size_t n);
+
+  private:
+    char* ptr(Addr a);
+
+    std::unordered_map<Addr, std::unique_ptr<char[]>> chunks_;
+    // One-entry lookup cache: most accesses stay within a chunk.
+    Addr lastChunk_ = kCycleMax;
+    char* lastPtr_ = nullptr;
+};
+
+inline char*
+BackingStore::ptr(Addr a)
+{
+    Addr chunk = a >> kChunkBits;
+    if (chunk != lastChunk_) {
+        auto& slot = chunks_[chunk];
+        if (!slot) {
+            slot = std::make_unique<char[]>(kChunkBytes);
+            std::memset(slot.get(), 0, kChunkBytes);
+        }
+        lastChunk_ = chunk;
+        lastPtr_ = slot.get();
+    }
+    return lastPtr_ + (a & kChunkMask);
+}
+
+} // namespace wwt::mem

@@ -1,0 +1,44 @@
+#include "mem/tlb.hh"
+
+namespace wwt::mem
+{
+
+Tlb::Tlb(std::size_t entries, unsigned page_bits)
+    : pageBits_(page_bits), capacity_(entries)
+{
+    ring_.assign(capacity_, kCycleMax);
+    map_.reserve(capacity_ * 2);
+}
+
+bool
+Tlb::access(Addr a)
+{
+    Addr page = pageOf(a);
+    if (page == lastPage_)
+        return true;
+    if (map_.count(page)) {
+        lastPage_ = page;
+        return true;
+    }
+
+    // Miss: install in FIFO order, displacing the oldest entry.
+    Addr old = ring_[head_];
+    if (old != kCycleMax)
+        map_.erase(old);
+    ring_[head_] = page;
+    map_[page] = head_;
+    head_ = (head_ + 1) % capacity_;
+    lastPage_ = page;
+    return false;
+}
+
+void
+Tlb::reset()
+{
+    map_.clear();
+    ring_.assign(capacity_, kCycleMax);
+    head_ = 0;
+    lastPage_ = kCycleMax;
+}
+
+} // namespace wwt::mem

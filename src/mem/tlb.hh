@@ -1,0 +1,55 @@
+#pragma once
+
+/**
+ * @file
+ * The 64-entry fully-associative FIFO TLB of Table 1.
+ *
+ * Like the cache, the TLB is a pure state container; the machine
+ * models charge the refill penalty and count misses.
+ */
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace wwt::mem
+{
+
+/** Fully-associative TLB with FIFO replacement. */
+class Tlb
+{
+  public:
+    /**
+     * @param entries capacity (64 in the paper).
+     * @param page_bits log2 of the page size (12 for 4 KB pages).
+     */
+    explicit Tlb(std::size_t entries, unsigned page_bits = 12);
+
+    /** Page number containing address @p a. */
+    Addr pageOf(Addr a) const { return a >> pageBits_; }
+
+    /**
+     * Translate an access to address @p a.
+     * @return true on a hit; on a miss the mapping is installed,
+     *         evicting the oldest entry when full.
+     */
+    bool access(Addr a);
+
+    /** Drop all entries. */
+    void reset();
+
+    std::size_t entries() const { return capacity_; }
+    std::size_t valid() const { return map_.size(); }
+
+  private:
+    unsigned pageBits_;
+    std::size_t capacity_;
+    std::unordered_map<Addr, std::size_t> map_; // page -> ring slot
+    std::vector<Addr> ring_;                    // FIFO order
+    std::size_t head_ = 0;                      // next slot to replace
+    Addr lastPage_ = kCycleMax;                 // one-entry fast path
+};
+
+} // namespace wwt::mem

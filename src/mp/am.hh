@@ -1,0 +1,172 @@
+#pragma once
+
+/**
+ * @file
+ * The active-message layer (CMAML-like, Section 3/4.1).
+ *
+ * An active message is one packet whose tag names a handler on the
+ * receiving node; the handler runs when the receiver polls (or, if
+ * enabled, when the arrival interrupt fires). Handler and dispatch
+ * time is charged as library computation; memory accessed by handlers
+ * shows up as library misses — reproducing the paper's "Lib Comp" and
+ * "Lib Misses" rows.
+ */
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "core/config.hh"
+#include "mp/ni.hh"
+#include "sim/processor.hh"
+
+namespace wwt::mp
+{
+
+/** Words carried by an active message (the full packet payload). */
+using AmArgs = std::array<std::uint32_t, core::kMpPacketWords>;
+
+/** Pack a double into two words at @p idx of @p args. */
+inline void
+packDouble(AmArgs& args, std::size_t idx, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    args[idx] = static_cast<std::uint32_t>(bits);
+    args[idx + 1] = static_cast<std::uint32_t>(bits >> 32);
+}
+
+/** Unpack a double stored by packDouble(). */
+inline double
+unpackDouble(const AmArgs& args, std::size_t idx)
+{
+    std::uint64_t bits = static_cast<std::uint64_t>(args[idx]) |
+                         (static_cast<std::uint64_t>(args[idx + 1]) << 32);
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+/** The per-node active-message endpoint. */
+class ActiveMessages
+{
+  public:
+    using Handler = std::function<void(NodeId src, const AmArgs& args)>;
+
+    ActiveMessages(sim::Processor& p, NetIface& ni,
+                   const core::MachineConfig& cfg)
+        : p_(p), ni_(ni), cfg_(cfg)
+    {
+    }
+
+    /**
+     * Register a handler; returns its id. Handler tables must be
+     * built identically on every node (SPMD), so ids agree.
+     */
+    std::uint32_t
+    registerHandler(Handler h)
+    {
+        handlers_.push_back(std::move(h));
+        return static_cast<std::uint32_t>(handlers_.size() - 1);
+    }
+
+    /**
+     * Send an active message.
+     * @param data_bytes how many of the packet's 20 bytes carry
+     *        application data (the rest is counted as control).
+     */
+    void
+    request(NodeId dest, std::uint32_t handler, const AmArgs& args,
+            unsigned data_bytes = 0)
+    {
+        sim::AttrScope lib(p_, stats::libAttribution());
+        p_.advance(sim::CostKind::Comp, cfg_.amDispatch / 2);
+        p_.stats().counts().activeMsgs++;
+        ni_.send(dest, handler, args, data_bytes);
+    }
+
+    /**
+     * Poll the interface once; dispatch at most one packet.
+     * @return true if a packet was dispatched.
+     */
+    bool
+    poll()
+    {
+        if (!ni_.recvPending())
+            return false;
+        dispatchOne();
+        return true;
+    }
+
+    /** Poll (advancing time) until @p pred becomes true. */
+    template <typename Pred>
+    void
+    pollUntil(Pred&& pred)
+    {
+        sim::AttrScope lib(p_, stats::libAttribution());
+        while (!pred()) {
+            if (!ni_.recvPending()) {
+                // Nothing queued: wait for the next arrival instead
+                // of spinning on the status word.
+                ni_.waitPacket();
+                continue;
+            }
+            dispatchOne();
+        }
+    }
+
+    /** Drain every packet currently pending. */
+    void
+    pollAll()
+    {
+        while (poll()) {
+        }
+    }
+
+    /**
+     * Route arrival interrupts to the dispatcher. The handler runs
+     * inside the processor's fiber at its next advance().
+     */
+    void
+    enableInterrupts()
+    {
+        p_.setInterruptHandler([this] {
+            sim::AttrScope lib(p_, stats::libAttribution());
+            // The quantum scheduler can deliver the interrupt before
+            // this processor's clock reaches the packet's arrival
+            // stamp; waitPacket() advances to it.
+            while (ni_.queueDepth() > 0) {
+                if (!ni_.recvPending()) {
+                    ni_.waitPacket();
+                    continue;
+                }
+                dispatchOne();
+            }
+        });
+        ni_.setInterruptsEnabled(true);
+    }
+
+    void disableInterrupts() { ni_.setInterruptsEnabled(false); }
+
+    sim::Processor& proc() { return p_; }
+    NetIface& ni() { return ni_; }
+
+  private:
+    void
+    dispatchOne()
+    {
+        Packet pkt = ni_.receive();
+        sim::AttrScope lib(p_, stats::libAttribution());
+        p_.advance(sim::CostKind::Comp, cfg_.amDispatch);
+        handlers_.at(pkt.tag)(pkt.src, pkt.words);
+    }
+
+    sim::Processor& p_;
+    NetIface& ni_;
+    const core::MachineConfig& cfg_;
+    std::vector<Handler> handlers_;
+};
+
+} // namespace wwt::mp

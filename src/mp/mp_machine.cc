@@ -1,0 +1,37 @@
+#include "mp/mp_machine.hh"
+
+#include <utility>
+
+namespace wwt::mp
+{
+
+MpMachine::MpMachine(const core::MachineConfig& cfg, TreeKind collectives)
+    : cfg_(cfg),
+      engine_(cfg.nprocs, cfg.quantum, cfg.fiberStack),
+      net_(engine_, cfg.netLatency, cfg.netLatency, cfg.netGap),
+      barrier_(engine_, cfg.nprocs, cfg.barrierLatency)
+{
+    nodes_.reserve(cfg_.nprocs);
+    for (NodeId i = 0; i < cfg_.nprocs; ++i) {
+        nodes_.push_back(std::make_unique<Node>(
+            engine_.proc(i), store_, net_, barrier_, cfg_, cfg_.nprocs,
+            collectives));
+    }
+    niPtrs_.reserve(cfg_.nprocs);
+    for (auto& n : nodes_)
+        niPtrs_.push_back(&n->ni);
+    for (auto& n : nodes_)
+        n->ni.setPeers(&niPtrs_);
+}
+
+void
+MpMachine::run(std::function<void(Node&)> body)
+{
+    for (NodeId i = 0; i < nodes_.size(); ++i) {
+        Node* n = nodes_[i].get();
+        engine_.setBody(i, [n, body] { body(*n); });
+    }
+    engine_.run();
+}
+
+} // namespace wwt::mp

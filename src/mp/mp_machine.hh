@@ -1,0 +1,91 @@
+#pragma once
+
+/**
+ * @file
+ * The simulated message-passing machine (Section 4.1): CM-5-like
+ * nodes with a memory-mapped network interface, an active-message
+ * layer, channels, CMMD-style sends, software collectives, and the
+ * hardware barrier. Programs are SPMD: the same body runs on every
+ * node with its own MpMachine::Node context.
+ */
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/config.hh"
+#include "mem/backing_store.hh"
+#include "mp/collectives.hh"
+#include "net/hw_barrier.hh"
+#include "net/network.hh"
+#include "sim/engine.hh"
+
+namespace wwt::mp
+{
+
+/** The whole message-passing machine. */
+class MpMachine
+{
+  public:
+    /** Per-node program context: processor plus the software stack. */
+    struct Node {
+        Node(sim::Processor& p, mem::BackingStore& store,
+             net::Network& net, net::HwBarrier& bar,
+             const core::MachineConfig& cfg, std::size_t np,
+             TreeKind tk)
+            : id(p.id()), nprocs(np), proc(p), mem(p, store, cfg),
+              ni(p, net, cfg), am(p, ni, cfg), chans(p, am, mem, cfg),
+              cmmd(p, am, chans), coll(p, am, mem, cfg, np, tk),
+              bar_(bar)
+        {
+        }
+
+        Node(const Node&) = delete;
+        Node& operator=(const Node&) = delete;
+
+        NodeId id;
+        std::size_t nprocs;
+        sim::Processor& proc;
+        MpMemory mem;
+        NetIface ni;
+        ActiveMessages am;
+        ChannelMgr chans;
+        Cmmd cmmd;
+        Collectives coll;
+
+        /** Enter the hardware barrier. */
+        void barrier() { bar_.wait(proc); }
+
+        /** Charge @p n computation cycles. */
+        void charge(Cycle n) { proc.charge(n); }
+
+        /** Switch this node's statistics to phase @p i. */
+        void setPhase(std::size_t i) { proc.stats().setPhase(i); }
+
+      private:
+        net::HwBarrier& bar_;
+    };
+
+    explicit MpMachine(const core::MachineConfig& cfg,
+                       TreeKind collectives = TreeKind::LopSided);
+
+    sim::Engine& engine() { return engine_; }
+    const core::MachineConfig& config() const { return cfg_; }
+    Node& node(NodeId i) { return *nodes_.at(i); }
+    std::size_t nprocs() const { return nodes_.size(); }
+    net::HwBarrier& barrier() { return barrier_; }
+
+    /** Run the SPMD @p body on every node to completion. */
+    void run(std::function<void(Node&)> body);
+
+  private:
+    core::MachineConfig cfg_;
+    sim::Engine engine_;
+    net::Network net_;
+    net::HwBarrier barrier_;
+    mem::BackingStore store_;
+    std::vector<NetIface*> niPtrs_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+} // namespace wwt::mp

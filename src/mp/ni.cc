@@ -1,0 +1,82 @@
+#include "mp/ni.hh"
+
+#include <cassert>
+
+namespace wwt::mp
+{
+
+void
+NetIface::send(NodeId dest, std::uint32_t tag,
+               const std::array<std::uint32_t, core::kMpPacketWords>& words,
+               unsigned data_bytes)
+{
+    assert(peers_ && "NetIface not wired to a machine");
+    assert(data_bytes <= core::kMpPacketBytes);
+
+    // Stores into the memory-mapped interface: tag + destination,
+    // then the five payload words.
+    p_.advance(sim::CostKind::Net, cfg_.niWriteTagDest + cfg_.niSendWords);
+
+    auto& counts = p_.stats().counts();
+    counts.packetsSent++;
+    counts.bytesData += data_bytes;
+    counts.bytesCtrl += core::kMpPacketBytes - data_bytes;
+
+    Packet pkt;
+    pkt.src = p_.id();
+    pkt.tag = tag;
+    pkt.words = words;
+    pkt.arrival = p_.now() + net_.latency(p_.id(), dest);
+
+    NetIface* dst = (*peers_)[dest];
+    net_.deliver(p_.now(), p_.id(), dest, [dst, pkt] {
+        dst->enqueue(pkt);
+    });
+}
+
+void
+NetIface::enqueue(const Packet& pkt)
+{
+    inq_.push_back(pkt);
+    if (waiting_) {
+        waiting_ = false;
+        p_.resume(pkt.arrival);
+    }
+    if (p_.interruptsEnabled())
+        p_.raiseInterrupt();
+}
+
+void
+NetIface::waitPacket()
+{
+    // Packets already delivered (or arriving before our clock) don't
+    // need a wait; otherwise block until the next enqueue resumes us.
+    if (!inq_.empty()) {
+        if (inq_.front().arrival > p_.now()) {
+            p_.advance(sim::CostKind::Comp,
+                       inq_.front().arrival - p_.now());
+        }
+        return;
+    }
+    waiting_ = true;
+    p_.blockFor(sim::CostKind::Comp);
+}
+
+bool
+NetIface::recvPending()
+{
+    p_.advance(sim::CostKind::Net, cfg_.niStatusAccess);
+    return peekPending();
+}
+
+Packet
+NetIface::receive()
+{
+    assert(peekPending() && "receive() without a pending packet");
+    p_.advance(sim::CostKind::Net, cfg_.niRecvWords);
+    Packet pkt = inq_.front();
+    inq_.pop_front();
+    return pkt;
+}
+
+} // namespace wwt::mp

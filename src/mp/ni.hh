@@ -1,0 +1,102 @@
+#pragma once
+
+/**
+ * @file
+ * The CM-5-like memory-mapped network interface (Section 4.1).
+ *
+ * The processor moves packets (up to 5 payload words plus a tag) in
+ * and out of the interface with explicit loads and stores, at the
+ * costs of Table 2: 5 cycles per status-word access, 5 to write the
+ * tag and destination, 15 to send or receive the 5 words. Sends always
+ * succeed (no contention is modeled). The interrupt mask lets a
+ * pending packet interrupt the processor; like the CMMD library, our
+ * software mostly polls.
+ */
+
+#include <array>
+#include <cstdint>
+#include <deque>
+
+#include "core/config.hh"
+#include "net/network.hh"
+#include "sim/processor.hh"
+
+namespace wwt::mp
+{
+
+/** One 20-byte network packet plus its tag. */
+struct Packet {
+    NodeId src = 0;
+    std::uint32_t tag = 0;
+    std::array<std::uint32_t, core::kMpPacketWords> words{};
+    Cycle arrival = 0;
+};
+
+/** The per-node memory-mapped network interface. */
+class NetIface
+{
+  public:
+    NetIface(sim::Processor& p, net::Network& net,
+             const core::MachineConfig& cfg)
+        : p_(p), net_(net), cfg_(cfg)
+    {
+    }
+
+    /** Wire up the interfaces of all nodes (done by the machine). */
+    void setPeers(std::vector<NetIface*>* peers) { peers_ = peers; }
+
+    /**
+     * Inject a packet. Charges the Table 2 store costs and counts the
+     * packet's @p data_bytes against the 20-byte total.
+     */
+    void send(NodeId dest, std::uint32_t tag,
+              const std::array<std::uint32_t, core::kMpPacketWords>& words,
+              unsigned data_bytes);
+
+    /**
+     * Read the NI status word (5 cycles).
+     * @return true if a received packet is waiting.
+     */
+    bool recvPending();
+
+    /** Pull the waiting packet out of the receive FIFO (15 cycles). */
+    Packet receive();
+
+    /**
+     * Wait until a packet is pending. The idle time is charged as
+     * computation under the caller's attribution (polling loops run
+     * in library code, so it lands in "Lib Comp" — the paper notes
+     * that waiting for messages manifests as library computation).
+     */
+    void waitPacket();
+
+    /** True if any packet has arrived by now (no charge; tests). */
+    bool
+    peekPending() const
+    {
+        return !inq_.empty() && inq_.front().arrival <= p_.now();
+    }
+
+    /** Enable/disable the arrival interrupt. */
+    void
+    setInterruptsEnabled(bool on)
+    {
+        p_.setInterruptsEnabled(on);
+        if (on && peekPending())
+            p_.raiseInterrupt();
+    }
+
+    std::size_t queueDepth() const { return inq_.size(); }
+
+  private:
+    void enqueue(const Packet& pkt);
+
+    sim::Processor& p_;
+    net::Network& net_;
+    const core::MachineConfig& cfg_;
+    std::vector<NetIface*>* peers_ = nullptr;
+    std::deque<Packet> inq_;
+    bool waiting_ = false; ///< processor blocked in waitPacket()
+};
+
+} // namespace wwt::mp

@@ -1,0 +1,98 @@
+#include "sim/engine.hh"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace wwt::sim
+{
+
+Engine::Engine(std::size_t nprocs, Cycle quantum, std::size_t stack_bytes)
+    : quantum_(quantum)
+{
+    if (nprocs == 0)
+        throw std::invalid_argument("Engine needs at least one processor");
+    if (quantum == 0)
+        throw std::invalid_argument("quantum must be positive");
+    procs_.reserve(nprocs);
+    for (std::size_t i = 0; i < nprocs; ++i) {
+        procs_.push_back(std::make_unique<Processor>(
+            *this, static_cast<NodeId>(i), stack_bytes));
+    }
+}
+
+void
+Engine::schedule(Cycle t, EventQueue::Callback cb)
+{
+    events_.schedule(t, std::move(cb));
+}
+
+void
+Engine::setBody(NodeId id, Processor::Body body)
+{
+    procs_.at(id)->setBody(std::move(body));
+}
+
+bool
+Engine::allFinished() const
+{
+    for (const auto& p : procs_) {
+        if (p->state() != Processor::State::Idle &&
+            p->state() != Processor::State::Finished) {
+            return false;
+        }
+    }
+    return true;
+}
+
+Cycle
+Engine::elapsed() const
+{
+    Cycle t = 0;
+    for (const auto& p : procs_)
+        t = std::max(t, p->now());
+    return t;
+}
+
+void
+Engine::run()
+{
+    while (!allFinished()) {
+        Cycle qend = quantumStart_ + quantum_;
+        std::size_t nev = events_.runUntil(qend);
+
+        bool ran = false;
+        for (auto& p : procs_) {
+            if (p->ready() && p->now() < qend) {
+                p->runUntil(qend);
+                ran = true;
+            }
+        }
+
+        if (nev != 0 || ran) {
+            quantumStart_ = qend;
+            continue;
+        }
+
+        // Nothing happened in this window: skip ahead to the next
+        // interesting time, or report a deadlock if there is none.
+        Cycle next = events_.nextTime();
+        for (const auto& p : procs_) {
+            if (p->ready())
+                next = std::min(next, p->now());
+        }
+        if (next == kCycleMax) {
+            std::ostringstream msg;
+            msg << "simulation deadlock at cycle " << quantumStart_
+                << "; blocked processors:";
+            for (const auto& p : procs_) {
+                if (p->blocked())
+                    msg << " " << p->id();
+            }
+            throw std::runtime_error(msg.str());
+        }
+        quantumStart_ = (next / quantum_) * quantum_;
+    }
+}
+
+} // namespace wwt::sim

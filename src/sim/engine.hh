@@ -1,0 +1,74 @@
+#pragma once
+
+/**
+ * @file
+ * The quantum-based discrete-event simulation engine.
+ *
+ * Like the Wisconsin Wind Tunnel, the engine advances all target
+ * processors in lock-step quanta equal to the network's minimum
+ * latency (100 cycles): any interaction sent during a quantum can only
+ * take effect in a later quantum, so processors may execute a whole
+ * quantum independently without violating causality. Hardware events
+ * (protocol message arrivals, barrier completions, packet deliveries)
+ * carry exact timestamps and are executed in (time, sequence) order at
+ * the start of the quantum containing them.
+ */
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/processor.hh"
+#include "sim/types.hh"
+
+namespace wwt::sim
+{
+
+/** Owns the processors and the event calendar; runs the simulation. */
+class Engine
+{
+  public:
+    /**
+     * @param nprocs number of target processors.
+     * @param quantum causality window; must equal the minimum
+     *        network latency (100 cycles for the paper's machines).
+     * @param stack_bytes fiber stack size per processor.
+     */
+    explicit Engine(std::size_t nprocs, Cycle quantum = 100,
+                    std::size_t stack_bytes = 1u << 20);
+
+    std::size_t numProcs() const { return procs_.size(); }
+    Processor& proc(NodeId id) { return *procs_.at(id); }
+    const Processor& proc(NodeId id) const { return *procs_.at(id); }
+    Cycle quantum() const { return quantum_; }
+
+    /** Schedule an event at absolute target time @p t. */
+    void schedule(Cycle t, EventQueue::Callback cb);
+
+    /** Assign the program run by processor @p id. */
+    void setBody(NodeId id, Processor::Body body);
+
+    /**
+     * Simulate until every processor with a body has finished.
+     * @throws std::runtime_error on deadlock (blocked processors with
+     *         an empty event calendar).
+     */
+    void run();
+
+    /** Completion time: the maximum processor clock. */
+    Cycle elapsed() const;
+
+    /** Number of events executed so far (diagnostics). */
+    std::uint64_t eventsExecuted() const { return events_.executed(); }
+
+  private:
+    bool allFinished() const;
+
+    Cycle quantum_;
+    Cycle quantumStart_ = 0;
+    EventQueue events_;
+    std::vector<std::unique_ptr<Processor>> procs_;
+};
+
+} // namespace wwt::sim

@@ -1,0 +1,36 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+namespace wwt::sim
+{
+
+void
+EventQueue::schedule(Cycle t, Callback cb)
+{
+    pq_.push(Item{t, seq_++, std::move(cb)});
+}
+
+Cycle
+EventQueue::nextTime() const
+{
+    return pq_.empty() ? kCycleMax : pq_.top().time;
+}
+
+std::size_t
+EventQueue::runUntil(Cycle limit)
+{
+    std::size_t n = 0;
+    while (!pq_.empty() && pq_.top().time < limit) {
+        // Move the callback out before popping so the event may
+        // schedule further events without invalidating itself.
+        Callback cb = std::move(const_cast<Item&>(pq_.top()).cb);
+        pq_.pop();
+        cb();
+        ++n;
+        ++executed_;
+    }
+    return n;
+}
+
+} // namespace wwt::sim

@@ -1,0 +1,67 @@
+#pragma once
+
+/**
+ * @file
+ * The discrete-event calendar of the simulation engine.
+ *
+ * Events are executed in (time, insertion-sequence) order, which makes
+ * runs bit-for-bit deterministic: two events at the same timestamp
+ * always execute in the order they were scheduled.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace wwt::sim
+{
+
+/** A time-ordered queue of callbacks. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p cb to run at absolute time @p t. */
+    void schedule(Cycle t, Callback cb);
+
+    bool empty() const { return pq_.empty(); }
+
+    /** Timestamp of the earliest pending event, kCycleMax if none. */
+    Cycle nextTime() const;
+
+    /**
+     * Execute every event with timestamp < @p limit, including events
+     * scheduled (before @p limit) by events run during this call.
+     * @return the number of events executed.
+     */
+    std::size_t runUntil(Cycle limit);
+
+    /** Total number of events ever executed (for diagnostics). */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Item {
+        Cycle time;
+        std::uint64_t seq;
+        Callback cb;
+    };
+    struct Later {
+        bool
+        operator()(const Item& a, const Item& b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Item, std::vector<Item>, Later> pq_;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace wwt::sim

@@ -1,0 +1,87 @@
+#include "sim/processor.hh"
+
+#include <stdexcept>
+#include <utility>
+
+#include "sim/engine.hh"
+
+namespace wwt::sim
+{
+
+Processor::Processor(Engine& engine, NodeId id, std::size_t stack_bytes)
+    : engine_(engine), id_(id), stackBytes_(stack_bytes)
+{
+}
+
+void
+Processor::setBody(Body body)
+{
+    if (state_ != State::Idle)
+        throw std::logic_error("Processor body already set");
+    body_ = std::move(body);
+    fiber_ = std::make_unique<Fiber>(stackBytes_, [this] { fiberMain(); });
+    state_ = State::Ready;
+}
+
+void
+Processor::fiberMain()
+{
+    body_();
+    // State is set to Finished by runUntil() when the fiber returns.
+}
+
+Cycle
+Processor::blockFor(CostKind k)
+{
+    assert(onFiber_ && "blockFor() outside the processor's fiber");
+    Cycle t0 = clock_;
+    yieldFiber(State::Blocked);
+    // Resumed: resume() advanced our clock to the completion time.
+    stats_.addCycles(map(k), clock_ - t0);
+    checkInterrupt();
+    return clock_;
+}
+
+void
+Processor::resume(Cycle at)
+{
+    if (state_ != State::Blocked)
+        throw std::logic_error("resume() on a processor that is not "
+                               "blocked");
+    if (at > clock_)
+        clock_ = at;
+    state_ = State::Ready;
+}
+
+void
+Processor::setInterruptHandler(std::function<void()> h)
+{
+    irqHandler_ = std::move(h);
+}
+
+void
+Processor::yieldFiber(State new_state)
+{
+    state_ = new_state;
+    onFiber_ = false;
+    fiber_->yieldToCaller();
+    // Back on the fiber: the engine set state_ = Running.
+    onFiber_ = true;
+}
+
+void
+Processor::runUntil(Cycle quantum_end)
+{
+    assert(state_ == State::Ready);
+    quantumEnd_ = quantum_end;
+    state_ = State::Running;
+    onFiber_ = true;
+    fiber_->switchTo();
+    onFiber_ = false;
+    if (fiber_->finished())
+        state_ = State::Finished;
+    else if (state_ == State::Running)
+        state_ = State::Ready; // yielded at the quantum boundary
+}
+
+} // namespace wwt::sim

@@ -1,0 +1,40 @@
+#pragma once
+
+/**
+ * @file
+ * Fundamental types shared by every wwtcmp module.
+ *
+ * The simulator models target machines whose clock runs in discrete
+ * cycles (the paper assumes a 30 ns cycle, i.e. a ~33 MHz SPARC node).
+ * Addresses are 64-bit global target addresses; node identifiers index
+ * the processors of the simulated machine.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wwt
+{
+
+/** A point in (or a duration of) simulated time, in target cycles. */
+using Cycle = std::uint64_t;
+
+/** A target-machine global address. */
+using Addr = std::uint64_t;
+
+/** Identifies one node (processor + memory + controllers). */
+using NodeId = std::uint32_t;
+
+/** Target cycle time assumed by the paper (Section 4): 30 ns. */
+constexpr double kCycleSeconds = 30e-9;
+
+/** Cache-block size shared by both machines (Table 1). */
+constexpr std::size_t kBlockBytes = 32;
+
+/** Page size shared by both machines (Table 1). */
+constexpr std::size_t kPageBytes = 4096;
+
+/** An "infinitely far in the future" timestamp. */
+constexpr Cycle kCycleMax = ~static_cast<Cycle>(0);
+
+} // namespace wwt

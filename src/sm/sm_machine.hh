@@ -1,0 +1,143 @@
+#pragma once
+
+/**
+ * @file
+ * The simulated cache-coherent shared-memory machine (Section 4.2):
+ * the same hardware base as the message-passing machine plus per-node
+ * directory and cache controllers running the Dir_nNB protocol, an
+ * atomic-swap lock primitive, the hardware barrier, and a parmacs-like
+ * programming interface (gmalloc / barrier / MCS locks / reductions).
+ * Programs are SPMD: node 0 conventionally performs "create-time"
+ * initialization while the others wait (Start-up Wait).
+ */
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/config.hh"
+#include "mem/backing_store.hh"
+#include "net/hw_barrier.hh"
+#include "net/network.hh"
+#include "sim/engine.hh"
+#include "sm/sm_memory.hh"
+#include "sm/sync.hh"
+
+namespace wwt::sm
+{
+
+/** The whole shared-memory machine. */
+class SmMachine
+{
+  public:
+    /** Per-node program context. */
+    struct Node {
+        Node(sim::Processor& p, SmMachine& m, mem::BackingStore& store,
+             mem::SharedAllocator& shalloc, DirProtocol& proto,
+             mem::Cache& cache, const core::MachineConfig& cfg,
+             std::size_t np)
+            : id(p.id()), nprocs(np), proc(p),
+              mem(p, store, shalloc, proto, cache, cfg), m_(m)
+        {
+        }
+
+        Node(const Node&) = delete;
+        Node& operator=(const Node&) = delete;
+
+        NodeId id;
+        std::size_t nprocs;
+        sim::Processor& proc;
+        SmMemory mem;
+
+        /** Timed load/store shorthands. */
+        template <typename T> T rd(Addr a) { return mem.read<T>(a); }
+        template <typename T> void wr(Addr a, T v) { mem.write<T>(a, v); }
+
+        /** Allocate shared memory (default homing policy). */
+        Addr gmalloc(std::size_t bytes, std::size_t align = 8);
+
+        /** Allocate shared memory homed on this node. */
+        Addr gmallocLocal(std::size_t bytes, std::size_t align = 8);
+
+        /** Allocate node-private memory. */
+        Addr
+        lmalloc(std::size_t bytes, std::size_t align = 8)
+        {
+            return mem.lmalloc(bytes, align);
+        }
+
+        /** Enter the hardware barrier. */
+        void barrier();
+
+        /**
+         * Barrier whose wait is charged to "Start-up Wait" — used at
+         * the create() point where node 0 initializes alone.
+         */
+        void startupBarrier();
+
+        /** Acquire/release a machine lock (lumped "Locks" time). */
+        void lockAcquire(std::size_t lock_id);
+        void lockRelease(std::size_t lock_id);
+
+        /**
+         * Software reduction across all nodes; attribution chosen by
+         * the caller (lumped Reduction, or split Sync Comp/Miss).
+         */
+        double reduce(double v, SmRedOp op,
+                      const stats::Attribution& attr);
+
+        /** Max-with-location reduction (see SmReducer). */
+        std::pair<double, std::uint64_t>
+        reduceMaxLoc(double v, std::uint64_t loc,
+                     const stats::Attribution& attr);
+
+        /** Charge @p n computation cycles. */
+        void charge(Cycle n) { proc.charge(n); }
+
+        /** Switch this node's statistics to phase @p i. */
+        void setPhase(std::size_t i) { proc.stats().setPhase(i); }
+
+      private:
+        SmMachine& m_;
+    };
+
+    explicit SmMachine(const core::MachineConfig& cfg);
+
+    sim::Engine& engine() { return engine_; }
+    const core::MachineConfig& config() const { return cfg_; }
+    DirProtocol& protocol() { return proto_; }
+    mem::SharedAllocator& shalloc() { return shalloc_; }
+    net::HwBarrier& barrier() { return barrier_; }
+    Node& node(NodeId i) { return *nodes_.at(i); }
+    std::size_t nprocs() const { return nodes_.size(); }
+
+    /**
+     * Create an MCS lock (host-side, untimed). Returns its id.
+     * Call before or at the very start of the run.
+     * @param home node holding the lock's tail word.
+     */
+    std::size_t createLock(NodeId home = 0);
+
+    /** Run the SPMD @p body on every node to completion. */
+    void run(std::function<void(Node&)> body);
+
+  private:
+    friend struct Node;
+
+    /** Shared-region capacity (plenty for the paper's workloads). */
+    static constexpr Addr kSharedBytes = Addr{1} << 32;
+
+    core::MachineConfig cfg_;
+    sim::Engine engine_;
+    net::Network net_;
+    net::HwBarrier barrier_;
+    mem::BackingStore store_;
+    mem::SharedAllocator shalloc_;
+    std::vector<std::unique_ptr<mem::Cache>> caches_;
+    DirProtocol proto_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::vector<std::unique_ptr<McsLock>> locks_;
+    std::unique_ptr<SmReducer> reducer_;
+};
+
+} // namespace wwt::sm

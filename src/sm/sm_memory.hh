@@ -1,0 +1,246 @@
+#pragma once
+
+/**
+ * @file
+ * The memory-access path of a shared-memory node (Section 4.2).
+ *
+ * Private addresses behave as on the message-passing machine (11-cycle
+ * miss + DRAM + replacement), except that replacement costs follow
+ * Table 3 (1 private / 5 shared-clean / 13 shared-dirty) because
+ * private and shared blocks share the cache. Shared addresses engage
+ * the Dir_nNB protocol: the processor blocks for the whole miss or
+ * write-fault transaction (sequential consistency). Dirty shared
+ * victims are written back to their home.
+ */
+
+#include <cstring>
+
+#include "core/config.hh"
+#include "mem/address_map.hh"
+#include "mem/backing_store.hh"
+#include "mem/cache.hh"
+#include "mem/tlb.hh"
+#include "sim/processor.hh"
+#include "sm/protocol.hh"
+
+namespace wwt::sm
+{
+
+/** Per-node memory front end for the shared-memory machine. */
+class SmMemory
+{
+  public:
+    /** @param cache this node's cache, owned by the machine (the
+     *         directory protocol manipulates it from event context). */
+    SmMemory(sim::Processor& p, mem::BackingStore& store,
+             mem::SharedAllocator& shalloc, DirProtocol& proto,
+             mem::Cache& cache, const core::MachineConfig& cfg)
+        : p_(p), store_(store), shalloc_(shalloc), proto_(proto),
+          cache_(cache),
+          tlb_(cfg.tlb.entries),
+          heap_(mem::AddressMap::privBase(p.id()),
+                mem::AddressMap::kPrivStride),
+          cfg_(cfg)
+    {
+    }
+
+    /** Allocate node-private memory. */
+    Addr
+    lmalloc(std::size_t bytes, std::size_t align = 8)
+    {
+        return heap_.alloc(bytes, align);
+    }
+
+    /** Timed load. */
+    template <typename T>
+    T
+    read(Addr a)
+    {
+        access(a, false);
+        return store_.read<T>(a);
+    }
+
+    /**
+     * Timed store. For shared data the value is applied at the
+     * protocol transaction's grant event (its linearization point),
+     * so spinning readers always observe stores in invalidation
+     * order; only Exclusive-hit stores apply immediately.
+     */
+    template <typename T>
+    void
+    write(Addr a, T v)
+    {
+        if (!mem::AddressMap::isShared(a)) {
+            accessPrivate(a, true);
+            store_.write<T>(a, v);
+            return;
+        }
+        static_assert(sizeof(T) == 4 || sizeof(T) == 8,
+                      "shared stores are word or doubleword");
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof(T));
+        if (sharedWrite(a, bits, sizeof(T)))
+            store_.write<T>(a, v);
+    }
+
+    /** Charge one load/store at @p a without moving data. */
+    void
+    access(Addr a, bool write)
+    {
+        if (mem::AddressMap::isShared(a))
+            accessShared(a, write);
+        else
+            accessPrivate(a, write);
+    }
+
+    /**
+     * Atomic swap (the machine's lock primitive, Section 4.2).
+     * Acquires exclusivity like a write and returns the old value.
+     */
+    std::uint64_t swap(Addr a, std::uint64_t nv);
+
+    /**
+     * Atomic compare-and-swap; swaps only when the old value equals
+     * @p expect. @return the old value.
+     */
+    std::uint64_t cas(Addr a, std::uint64_t expect, std::uint64_t nv);
+
+    /**
+     * Flush the block holding @p a from this cache (Section 5.3.4: a
+     * consumer that flushes its copy turns the producer's 2-message
+     * invalidation round into a single-message replacement). Dirty
+     * blocks are written back; clean drops are silent. Cheap: the
+     * replacement cost of Table 3 plus the flush instruction.
+     */
+    void flush(Addr a);
+
+    /** Untimed peek (verification only). */
+    template <typename T>
+    T
+    peek(Addr a) const
+    {
+        return store_.read<T>(a);
+    }
+
+    /** Untimed poke (initialization only). */
+    template <typename T>
+    void
+    poke(Addr a, T v)
+    {
+        store_.write<T>(a, v);
+    }
+
+    mem::Cache& cache() { return cache_; }
+    mem::Tlb& tlb() { return tlb_; }
+    sim::Processor& proc() { return p_; }
+    mem::BackingStore& store() { return store_; }
+
+  private:
+    void
+    checkTlb(Addr a)
+    {
+        if (!tlb_.access(a)) {
+            p_.stats().counts().tlbMisses++;
+            p_.advance(sim::CostKind::Tlb, cfg_.tlb.missPenalty);
+        }
+    }
+
+    Cycle
+    replCost(const mem::Victim& v) const
+    {
+        if (!v.valid)
+            return 0;
+        if (!mem::AddressMap::isShared(cache_.addrOf(v.block)))
+            return cfg_.smReplPrivate;
+        return v.dirty ? cfg_.smReplSharedDirty : cfg_.smReplSharedClean;
+    }
+
+    /** Issue the writeback for a displaced dirty shared block. */
+    void
+    maybeWriteback(const mem::Victim& v)
+    {
+        if (v.valid && v.dirty &&
+            mem::AddressMap::isShared(cache_.addrOf(v.block))) {
+            proto_.evictWriteback(p_, cache_.addrOf(v.block));
+        }
+    }
+
+    void
+    accessPrivate(Addr a, bool write)
+    {
+        checkTlb(a);
+        auto& counts = p_.stats().counts();
+        counts.privAccesses++;
+        p_.advance(sim::CostKind::Comp, 1);
+        Addr bnum = cache_.blockOf(a);
+        if (mem::Line* line = cache_.find(bnum)) {
+            line->dirty |= write;
+            return;
+        }
+        counts.privMisses++;
+        mem::Victim v =
+            cache_.insert(bnum, mem::LineState::Exclusive, write);
+        p_.advance(sim::CostKind::PrivMiss,
+                   cfg_.privMissBase + cfg_.dramAccess + replCost(v));
+        maybeWriteback(v);
+    }
+
+    void
+    accessShared(Addr a, bool write)
+    {
+        checkTlb(a);
+        auto& counts = p_.stats().counts();
+        counts.sharedAccesses++;
+        p_.advance(sim::CostKind::Comp, 1);
+        Addr bnum = cache_.blockOf(a);
+        if (mem::Line* line = cache_.find(bnum)) {
+            if (!write)
+                return;
+            if (line->state == mem::LineState::Exclusive) {
+                line->dirty = true;
+                return;
+            }
+            // Write fault: upgrade the read-only copy.
+            counts.writeFaults++;
+            line->state = mem::LineState::Exclusive;
+            line->dirty = true;
+            p_.advance(sim::CostKind::WriteFault, cfg_.smSharedMissBase);
+            proto_.miss(p_, a, true, true, sim::CostKind::WriteFault);
+            return;
+        }
+        if (proto_.homeOf(a) == p_.id())
+            counts.sharedMissLocal++;
+        else
+            counts.sharedMissRemote++;
+        mem::Victim v = cache_.insert(
+            bnum,
+            write ? mem::LineState::Exclusive : mem::LineState::Shared,
+            write);
+        p_.advance(sim::CostKind::SharedMiss,
+                   cfg_.smSharedMissBase + replCost(v));
+        maybeWriteback(v);
+        proto_.miss(p_, a, write, false, sim::CostKind::SharedMiss);
+    }
+
+    std::uint64_t atomicOp(Addr a, AtomicKind k, std::uint64_t expect,
+                           std::uint64_t nv);
+
+    /**
+     * Timing + protocol for a shared store.
+     * @return true when the caller should apply the value itself
+     *         (Exclusive hit); false when the protocol applied it at
+     *         the grant event.
+     */
+    bool sharedWrite(Addr a, std::uint64_t bits, unsigned width);
+
+    sim::Processor& p_;
+    mem::BackingStore& store_;
+    mem::SharedAllocator& shalloc_;
+    DirProtocol& proto_;
+    mem::Cache& cache_;
+    mem::Tlb tlb_;
+    mem::BumpAllocator heap_;
+    const core::MachineConfig& cfg_;
+};
+
+} // namespace wwt::sm

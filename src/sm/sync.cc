@@ -1,0 +1,178 @@
+#include "sm/sync.hh"
+
+#include <cassert>
+
+namespace wwt::sm
+{
+
+// --------------------------------------------------------------------
+// McsLock
+// --------------------------------------------------------------------
+
+McsLock::McsLock(mem::SharedAllocator& shalloc, std::size_t nprocs,
+                 NodeId home)
+{
+    tail_ = shalloc.gallocLocal(8, home, kBlockBytes);
+    qnodes_.reserve(nprocs);
+    for (NodeId n = 0; n < nprocs; ++n)
+        qnodes_.push_back(shalloc.gallocLocal(16, n, kBlockBytes));
+}
+
+void
+McsLock::acquire(SmMemory& mem)
+{
+    sim::Processor& p = mem.proc();
+    p.stats().counts().lockAcquires++;
+    Addr I = qnodes_[p.id()];
+
+    mem.write<std::uint64_t>(I + kNext, 0);
+    std::uint64_t pred = mem.swap(tail_, I);
+    if (pred == 0)
+        return; // lock was free
+
+    mem.write<std::uint64_t>(I + kLocked, 1);
+    mem.write<std::uint64_t>(pred + kNext, I);
+    // Spin on our own queue node (locally cached until the hand-off
+    // write invalidates it).
+    while (mem.read<std::uint64_t>(I + kLocked) != 0)
+        p.charge(2);
+}
+
+void
+McsLock::release(SmMemory& mem)
+{
+    sim::Processor& p = mem.proc();
+    Addr I = qnodes_[p.id()];
+
+    std::uint64_t next = mem.read<std::uint64_t>(I + kNext);
+    if (next == 0) {
+        // No known successor: try to swing the tail back to empty.
+        if (mem.cas(tail_, I, 0) == I)
+            return;
+        // Someone is enqueueing; wait for them to link in.
+        while ((next = mem.read<std::uint64_t>(I + kNext)) == 0)
+            p.charge(2);
+    }
+    mem.write<std::uint64_t>(next + kLocked, 0);
+}
+
+// --------------------------------------------------------------------
+// SmReducer
+// --------------------------------------------------------------------
+
+SmReducer::SmReducer(mem::SharedAllocator& shalloc, std::size_t nprocs)
+    : nprocs_(nprocs), epoch_(nprocs, 0)
+{
+    cells_.reserve(nprocs);
+    downCells_.reserve(nprocs);
+    for (NodeId n = 0; n < nprocs; ++n) {
+        // kFanIn cells of one block each, on the parent's local pages.
+        cells_.push_back(
+            shalloc.gallocLocal(kFanIn * kBlockBytes, n, kBlockBytes));
+        downCells_.push_back(
+            shalloc.gallocLocal(kBlockBytes, n, kBlockBytes));
+    }
+}
+
+Addr
+SmReducer::cellAddr(std::size_t parent, std::size_t slot) const
+{
+    return cells_[parent] + slot * kBlockBytes;
+}
+
+// Cell layout: +0 value (double), +8 loc (u64), +16 epoch flag (u64).
+
+std::pair<double, std::uint64_t>
+SmReducer::reduceImpl(SmMemory& mem, double v, std::uint64_t loc,
+                      SmRedOp op)
+{
+    sim::Processor& p = mem.proc();
+    NodeId me = p.id();
+    std::uint64_t e = ++epoch_[me];
+
+    auto combine = [op](double& a, std::uint64_t& al, double b,
+                        std::uint64_t bl) {
+        switch (op) {
+          case SmRedOp::Sum:
+            a += b;
+            break;
+          case SmRedOp::Max:
+            a = a > b ? a : b;
+            break;
+          case SmRedOp::MaxLoc:
+            if (b > a || (b == a && bl < al)) {
+                a = b;
+                al = bl;
+            }
+            break;
+        }
+    };
+
+    // Gather contributions from our children (fan-in-4 tree).
+    for (std::size_t slot = 0; slot < kFanIn; ++slot) {
+        std::size_t child = me * kFanIn + slot + 1;
+        if (child >= nprocs_)
+            break;
+        Addr cell = cellAddr(me, slot);
+        while (mem.read<std::uint64_t>(cell + 16) != e)
+            p.charge(2);
+        double cv = mem.read<double>(cell);
+        std::uint64_t cl =
+            op == SmRedOp::MaxLoc ? mem.read<std::uint64_t>(cell + 8)
+                                  : 0;
+        combine(v, loc, cv, cl);
+        p.charge(3); // combine + loop
+    }
+
+    auto handDown = [&](double rv, std::uint64_t rl) {
+        for (std::size_t slot = 0; slot < kFanIn; ++slot) {
+            std::size_t child = me * kFanIn + slot + 1;
+            if (child >= nprocs_)
+                break;
+            Addr cell = downCells_[child];
+            mem.write<double>(cell, rv);
+            if (op == SmRedOp::MaxLoc)
+                mem.write<std::uint64_t>(cell + 8, rl);
+            mem.write<std::uint64_t>(cell + 16, e);
+            p.charge(2);
+        }
+    };
+
+    if (me != 0) {
+        std::size_t parent = (me - 1) / kFanIn;
+        std::size_t slot = (me - 1) % kFanIn;
+        Addr cell = cellAddr(parent, slot);
+        mem.write<double>(cell, v);
+        if (op == SmRedOp::MaxLoc)
+            mem.write<std::uint64_t>(cell + 8, loc);
+        mem.write<std::uint64_t>(cell + 16, e);
+        // Wait for the result to come down to our own cell (a local
+        // spin; the parent's write terminates it).
+        Addr mine = downCells_[me];
+        while (mem.read<std::uint64_t>(mine + 16) != e)
+            p.charge(2);
+        double rv = mem.read<double>(mine);
+        std::uint64_t rl = op == SmRedOp::MaxLoc
+                               ? mem.read<std::uint64_t>(mine + 8)
+                               : 0;
+        handDown(rv, rl);
+        return {rv, rl};
+    }
+
+    handDown(v, loc);
+    return {v, loc};
+}
+
+double
+SmReducer::reduce(SmMemory& mem, double v, SmRedOp op)
+{
+    return reduceImpl(mem, v, 0, op).first;
+}
+
+std::pair<double, std::uint64_t>
+SmReducer::reduceMaxLoc(SmMemory& mem, double v, std::uint64_t loc)
+{
+    return reduceImpl(mem, v, loc, SmRedOp::MaxLoc);
+}
+
+} // namespace wwt::sm

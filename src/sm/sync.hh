@@ -1,0 +1,112 @@
+#pragma once
+
+/**
+ * @file
+ * Shared-memory synchronization (Section 4.2): MCS locks built on the
+ * atomic-swap/CAS primitives, and MCS-style fan-in-tree reductions.
+ *
+ * Both are implemented with *real shared-memory operations*, so their
+ * costs emerge from the protocol: each processor spins on a separate,
+ * locally cached location (Mellor-Crummey & Scott [17]); the lock
+ * holder terminates the spin with a single remote write. Queue nodes
+ * and reduction slots are allocated on locally-homed shared pages so
+ * spinning generates no traffic until the hand-off.
+ *
+ * Attribution: the caller passes the frame (lumped "Locks" for EM3D,
+ * lumped "Reductions" for Gauss, split Sync Comp / Sync Miss for LCP)
+ * so the same code reproduces the paper's different table shapes.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "sm/sm_memory.hh"
+
+namespace wwt::sm
+{
+
+/** Reduction operators for shared-memory reductions. */
+enum class SmRedOp : std::uint8_t { Sum, Max, MaxLoc };
+
+/**
+ * One MCS queue lock: a shared tail word plus one queue node per
+ * processor, each on that processor's locally-homed pages.
+ */
+class McsLock
+{
+  public:
+    /**
+     * Host-side constructor (untimed): lays the lock out in shared
+     * memory. Create locks before (or at the start of) the run.
+     * @param home node whose memory holds the tail word — put it
+     *        where the lock is used most (swap traffic goes there).
+     */
+    McsLock(mem::SharedAllocator& shalloc, std::size_t nprocs,
+            NodeId home = 0);
+
+    /** Acquire on behalf of @p mem's processor. Spins locally. */
+    void acquire(SmMemory& mem);
+
+    /** Release; hands the lock to the next waiter if any. */
+    void release(SmMemory& mem);
+
+  private:
+    // Queue-node field offsets (one cache block per node).
+    static constexpr Addr kNext = 0;
+    static constexpr Addr kLocked = 8;
+
+    Addr tail_ = 0;
+    std::vector<Addr> qnodes_; ///< per-processor queue nodes
+};
+
+/**
+ * MCS-style software reduction: a fan-in-4 combining tree in shared
+ * memory (the "upward phase of MCS barriers" the paper cites for
+ * Gauss-SM), with the result published through an epoch word that
+ * every processor spins on.
+ */
+class SmReducer
+{
+  public:
+    static constexpr std::size_t kFanIn = 4;
+
+    /** Host-side constructor (untimed). */
+    SmReducer(mem::SharedAllocator& shalloc, std::size_t nprocs);
+
+    /**
+     * Combine @p v across all processors; all get the result. Callers
+     * install the attribution frame (Reduction / SyncComp+SyncMiss)
+     * before calling. All processors must call in the same order.
+     */
+    double reduce(SmMemory& mem, double v, SmRedOp op);
+
+    /**
+     * Max-with-location: every processor gets the maximum value and
+     * the @p loc tag of the processor holding it (ties to smallest).
+     */
+    std::pair<double, std::uint64_t> reduceMaxLoc(SmMemory& mem,
+                                                  double v,
+                                                  std::uint64_t loc);
+
+    /** Epochs completed (tests). */
+    std::uint64_t epochsOf(NodeId n) const { return epoch_[n]; }
+
+  private:
+    // Per-(parent, slot) cell: value, location, epoch flag: 32 bytes
+    // (one cache block).
+    Addr cellAddr(std::size_t parent, std::size_t slot) const;
+
+    std::pair<double, std::uint64_t> reduceImpl(SmMemory& mem, double v,
+                                                std::uint64_t loc,
+                                                SmRedOp op);
+
+    std::size_t nprocs_;
+    std::vector<Addr> cells_;  ///< per-node base of its kFanIn cells
+    /** Per-node result cell, locally homed: the result is handed down
+     *  the tree MCS-style (each processor spins only on its own
+     *  cell), avoiding a 31-way invalidation storm at the root. */
+    std::vector<Addr> downCells_;
+    std::vector<std::uint64_t> epoch_; ///< host-side per-node counters
+};
+
+} // namespace wwt::sm

@@ -1,0 +1,115 @@
+#pragma once
+
+/**
+ * @file
+ * The time-attribution categories of the paper's breakdown tables.
+ *
+ * The paper (Section 5) reports where each program spends its cycles:
+ * message-passing programs split time into computation, local cache
+ * misses, communication-library computation, library-induced misses,
+ * and network-interface access; shared-memory programs split time into
+ * computation, private/shared cache misses, write faults, TLB misses,
+ * and synchronization (sub-divided into sync computation, sync misses,
+ * locks, reductions, barriers, and start-up wait).
+ *
+ * Every cycle a simulated processor advances lands in exactly one
+ * Category, selected by the Attribution frame active at the time
+ * (see wwt::sim::Processor::AttrScope).
+ */
+
+#include <array>
+#include <cstdint>
+
+namespace wwt::stats
+{
+
+/** The single bucket each simulated cycle is attributed to. */
+enum class Category : std::uint8_t {
+    Computation,    ///< application computation (incl. cache hits)
+    LocalMiss,      ///< stalls on misses to private/local data
+    LibComp,        ///< computation inside communication libraries (MP)
+    LibMiss,        ///< local-miss stalls inside libraries (MP)
+    NetAccess,      ///< loads/stores to the network interface (MP)
+    Barrier,        ///< time blocked at (hardware) barriers
+    SharedMiss,     ///< stalls on misses to shared data (SM)
+    WriteFault,     ///< stalls upgrading a read-only block (SM)
+    TlbMiss,        ///< TLB refill stalls
+    SyncComp,       ///< computation inside synchronization code (SM)
+    SyncMiss,       ///< miss stalls inside synchronization code (SM)
+    Lock,           ///< all time inside lock acquire/release (SM)
+    Reduction,      ///< all time inside software reductions (SM)
+    StartupWait,    ///< idling while another node initializes
+    NumCategories
+};
+
+constexpr std::size_t kNumCategories =
+    static_cast<std::size_t>(Category::NumCategories);
+
+/** Human-readable name for report tables. */
+const char* categoryName(Category c);
+
+/**
+ * Where each kind of cost lands while a scope is active.
+ *
+ * The memory system and network report *kinds* of cycles (a private
+ * miss stall, a shared miss stall, network-interface access, ...); the
+ * active Attribution maps each kind to a report Category. Scopes such
+ * as "inside the CMMD library" or "inside a lock" install different
+ * mappings.
+ */
+struct Attribution {
+    Category comp = Category::Computation;
+    Category privMiss = Category::LocalMiss;
+    Category sharedMiss = Category::SharedMiss;
+    Category writeFault = Category::WriteFault;
+    Category tlb = Category::TlbMiss;
+    Category net = Category::NetAccess;
+    Category barrier = Category::Barrier;
+};
+
+/** Default attribution for application code. */
+constexpr Attribution
+appAttribution()
+{
+    return Attribution{};
+}
+
+/** Attribution inside a communication library (MP machines). */
+constexpr Attribution
+libAttribution()
+{
+    Attribution a;
+    a.comp = Category::LibComp;
+    a.privMiss = Category::LibMiss;
+    a.sharedMiss = Category::LibMiss;
+    a.tlb = Category::LibMiss;
+    return a;
+}
+
+/** Attribution that lumps everything into one category (locks, ...). */
+constexpr Attribution
+lumpedAttribution(Category c)
+{
+    return Attribution{c, c, c, c, c, c, c};
+}
+
+/**
+ * Attribution for synchronization code that the paper reports split
+ * into "Sync Comp" and "Sync Miss" (e.g. the LCP reductions).
+ */
+constexpr Attribution
+syncSplitAttribution()
+{
+    Attribution a;
+    a.comp = Category::SyncComp;
+    a.privMiss = Category::SyncMiss;
+    a.sharedMiss = Category::SyncMiss;
+    a.writeFault = Category::SyncMiss;
+    a.tlb = Category::SyncMiss;
+    return a;
+}
+
+/** A fixed-size per-category cycle accumulator. */
+using CategoryCycles = std::array<std::uint64_t, kNumCategories>;
+
+} // namespace wwt::stats

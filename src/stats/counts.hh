@@ -1,0 +1,74 @@
+#pragma once
+
+/**
+ * @file
+ * Event counters matching the paper's per-processor count tables
+ * (Tables 6/7, 10/11, 13/15, 22/23): cache misses by class, write
+ * faults, messages, and bytes transmitted split into data and control.
+ */
+
+#include <cstdint>
+
+namespace wwt::stats
+{
+
+/** Per-processor (and per-phase) event counts. */
+struct Counts {
+    // Memory-system events.
+    std::uint64_t privAccesses = 0;     ///< accesses to private data
+    std::uint64_t privMisses = 0;       ///< misses to private/local data
+    std::uint64_t sharedAccesses = 0;   ///< accesses to shared data (SM)
+    std::uint64_t sharedMissLocal = 0;  ///< shared misses, home == self
+    std::uint64_t sharedMissRemote = 0; ///< shared misses, home != self
+    std::uint64_t writeFaults = 0;      ///< writes to read-only blocks
+    std::uint64_t tlbMisses = 0;
+
+    // Network events (message passing).
+    std::uint64_t packetsSent = 0;      ///< raw 20-byte packets injected
+    std::uint64_t activeMsgs = 0;       ///< active-message requests sent
+    std::uint64_t channelWrites = 0;    ///< bulk channel-write operations
+    std::uint64_t sendsPosted = 0;      ///< CMMD-level send operations
+
+    // Network events (shared memory protocol).
+    std::uint64_t protoMsgs = 0;        ///< coherence messages sent
+    std::uint64_t invalsSent = 0;       ///< invalidations issued
+    std::uint64_t writeBacks = 0;       ///< dirty blocks written back
+
+    // Traffic, attributed to the *sending* processor.
+    std::uint64_t bytesData = 0;
+    std::uint64_t bytesCtrl = 0;
+
+    // Synchronization events.
+    std::uint64_t lockAcquires = 0;
+    std::uint64_t barriers = 0;
+    std::uint64_t atomicOps = 0;
+
+    Counts& operator+=(const Counts& o);
+};
+
+inline Counts&
+Counts::operator+=(const Counts& o)
+{
+    privAccesses += o.privAccesses;
+    privMisses += o.privMisses;
+    sharedAccesses += o.sharedAccesses;
+    sharedMissLocal += o.sharedMissLocal;
+    sharedMissRemote += o.sharedMissRemote;
+    writeFaults += o.writeFaults;
+    tlbMisses += o.tlbMisses;
+    packetsSent += o.packetsSent;
+    activeMsgs += o.activeMsgs;
+    channelWrites += o.channelWrites;
+    sendsPosted += o.sendsPosted;
+    protoMsgs += o.protoMsgs;
+    invalsSent += o.invalsSent;
+    writeBacks += o.writeBacks;
+    bytesData += o.bytesData;
+    bytesCtrl += o.bytesCtrl;
+    lockAcquires += o.lockAcquires;
+    barriers += o.barriers;
+    atomicOps += o.atomicOps;
+    return *this;
+}
+
+} // namespace wwt::stats

@@ -1,0 +1,121 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace wwt::stats
+{
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addRule()
+{
+    rows_.emplace_back();
+}
+
+std::string
+Table::str() const
+{
+    std::size_t ncols = header_.size();
+    for (const auto& r : rows_)
+        ncols = std::max(ncols, r.size());
+
+    std::vector<std::size_t> width(ncols, 0);
+    auto measure = [&](const std::vector<std::string>& r) {
+        for (std::size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    };
+    measure(header_);
+    for (const auto& r : rows_)
+        measure(r);
+
+    std::size_t total = 0;
+    for (auto w : width)
+        total += w + 2;
+
+    std::ostringstream out;
+    if (!title_.empty())
+        out << title_ << "\n";
+
+    auto emit = [&](const std::vector<std::string>& r) {
+        for (std::size_t i = 0; i < ncols; ++i) {
+            std::string cell = i < r.size() ? r[i] : "";
+            if (i == 0) {
+                out << cell
+                    << std::string(width[i] - cell.size() + 2, ' ');
+            } else {
+                out << std::string(width[i] - cell.size(), ' ') << cell
+                    << "  ";
+            }
+        }
+        out << "\n";
+    };
+
+    std::string rule(total, '-');
+    out << rule << "\n";
+    if (!header_.empty()) {
+        emit(header_);
+        out << rule << "\n";
+    }
+    for (const auto& r : rows_) {
+        if (r.empty())
+            out << rule << "\n";
+        else
+            emit(r);
+    }
+    out << rule << "\n";
+    return out.str();
+}
+
+std::string
+fmtMCycles(std::uint64_t cycles)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", cycles / 1e6);
+    return buf;
+}
+
+std::string
+fmtPct(double fraction)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f%%", fraction * 100.0);
+    return buf;
+}
+
+std::string
+fmtCount(std::uint64_t n)
+{
+    char buf[32];
+    if (n >= 1000000) {
+        std::snprintf(buf, sizeof(buf), "%.1fM", n / 1e6);
+        return buf;
+    }
+    std::string s = std::to_string(n);
+    if (n >= 10000) {
+        // Insert thousands separators, as in "23,590".
+        for (int i = static_cast<int>(s.size()) - 3; i > 0; i -= 3)
+            s.insert(static_cast<std::size_t>(i), ",");
+    }
+    return s;
+}
+
+std::string
+indentLabel(const std::string& label, int levels)
+{
+    return std::string(static_cast<std::size_t>(levels) * 2, ' ') + label;
+}
+
+} // namespace wwt::stats

@@ -1,0 +1,63 @@
+#pragma once
+
+/**
+ * @file
+ * Plain-text table rendering for paper-style reports.
+ *
+ * The bench harnesses print breakdown and event-count tables shaped
+ * like the paper's Tables 4-23; this is the low-level formatter they
+ * share. The first column is left-aligned (labels, possibly indented),
+ * all other columns are right-aligned.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wwt::stats
+{
+
+/** A simple fixed-column text table. */
+class Table
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set column headers (defines the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row; missing cells render empty, extras are dropped. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal rule. */
+    void addRule();
+
+    /** Render the table to a string. */
+    std::string str() const;
+
+    const std::string& title() const { return title_; }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_; // empty row == rule
+};
+
+/** Format cycles as millions with one decimal, e.g. 1115.9. */
+std::string fmtMCycles(std::uint64_t cycles);
+
+/** Format a percentage as the paper does, e.g. "90%". */
+std::string fmtPct(double fraction);
+
+/**
+ * Format an event count the way the paper's tables do: exact when
+ * small (e.g. "1271"), with thousands separators when mid-sized
+ * (e.g. "23,590"), and in millions when large (e.g. "2.4M").
+ */
+std::string fmtCount(std::uint64_t n);
+
+/** Indent a label by @p levels of two spaces. */
+std::string indentLabel(const std::string& label, int levels);
+
+} // namespace wwt::stats

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for software collectives: tree construction for all three
+ * shapes, reductions (sum / max / max-with-location), value and bulk
+ * broadcasts, parameterized across tree kinds and node counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mp/mp_machine.hh"
+
+using namespace wwt;
+using namespace wwt::mp;
+
+namespace
+{
+
+core::MachineConfig
+smallCfg(std::size_t nprocs)
+{
+    core::MachineConfig cfg;
+    cfg.nprocs = nprocs;
+    return cfg;
+}
+
+} // namespace
+
+TEST(CommTree, FlatShape)
+{
+    CommTree t(8, TreeKind::Flat, 30, 100);
+    EXPECT_EQ(t.children(0).size(), 7u);
+    EXPECT_EQ(t.depth(), 1u);
+    for (std::size_t v = 1; v < 8; ++v)
+        EXPECT_EQ(t.parent(v), 0u);
+}
+
+TEST(CommTree, BinaryShape)
+{
+    CommTree t(7, TreeKind::Binary, 30, 100);
+    EXPECT_EQ(t.children(0),
+              (std::vector<std::size_t>{1, 2}));
+    EXPECT_EQ(t.children(1), (std::vector<std::size_t>{3, 4}));
+    EXPECT_EQ(t.parent(6), 2u);
+    EXPECT_EQ(t.depth(), 2u);
+}
+
+TEST(CommTree, LopSidedIsSkewedAndComplete)
+{
+    CommTree t(32, TreeKind::LopSided, 30, 100);
+    // Every rank except 0 has a parent smaller than itself.
+    for (std::size_t v = 1; v < 32; ++v)
+        EXPECT_LT(t.parent(v), v);
+    // The root sends repeatedly: more children than a binary tree.
+    EXPECT_GT(t.children(0).size(), 2u);
+    // Lop-sided: the first child's subtree is bigger than the last's.
+    std::vector<std::size_t> sub(32, 1);
+    for (std::size_t v = 31; v >= 1; --v)
+        sub[t.parent(v)] += sub[v];
+    EXPECT_EQ(sub[0], 32u);
+    auto kids = t.children(0);
+    EXPECT_GT(sub[kids.front()], sub[kids.back()]);
+    // Shallower than flat would suggest, deeper than 1.
+    EXPECT_GE(t.depth(), 2u);
+    EXPECT_LT(t.depth(), 32u);
+}
+
+TEST(CommTree, RelabelingRoundTrips)
+{
+    CommTree t(8, TreeKind::Binary, 30, 100);
+    for (NodeId root = 0; root < 8; ++root) {
+        for (NodeId phys = 0; phys < 8; ++phys) {
+            std::size_t v = t.toVirtual(phys, root);
+            EXPECT_EQ(t.toPhysical(v, root), phys);
+        }
+        EXPECT_EQ(t.toVirtual(root, root), 0u);
+    }
+}
+
+class CollectivesAcrossKinds
+    : public ::testing::TestWithParam<std::tuple<TreeKind, int>>
+{
+};
+
+TEST_P(CollectivesAcrossKinds, AllReduceSumAndMax)
+{
+    auto [kind, nprocs] = GetParam();
+    MpMachine m(smallCfg(nprocs), kind);
+    std::vector<double> sums(nprocs), maxes(nprocs);
+    m.run([&](MpMachine::Node& n) {
+        double v = n.id * 1.5 + 1.0;
+        sums[n.id] = n.coll.allReduce(v, RedOp::Sum);
+        maxes[n.id] = n.coll.allReduce(v, RedOp::Max);
+    });
+    int P = nprocs;
+    double want_sum = P * 1.0 + 1.5 * (P - 1) * P / 2;
+    double want_max = (P - 1) * 1.5 + 1.0;
+    for (int i = 0; i < P; ++i) {
+        EXPECT_NEAR(sums[i], want_sum, 1e-9) << i;
+        EXPECT_EQ(maxes[i], want_max) << i;
+    }
+}
+
+TEST_P(CollectivesAcrossKinds, MaxLocFindsOwner)
+{
+    auto [kind, nprocs] = GetParam();
+    MpMachine m(smallCfg(nprocs), kind);
+    std::vector<std::uint32_t> locs(nprocs);
+    m.run([&](MpMachine::Node& n) {
+        // Node (P-2) holds the maximum (or node 0 when P == 1).
+        double v = (static_cast<int>(n.id) ==
+                    std::max(0, static_cast<int>(n.nprocs) - 2))
+                       ? 100.0
+                       : static_cast<double>(n.id);
+        auto [mx, loc] = n.coll.allReduceMaxLoc(v, n.id);
+        EXPECT_EQ(mx, 100.0);
+        locs[n.id] = loc;
+    });
+    for (int i = 0; i < nprocs; ++i)
+        EXPECT_EQ(locs[i], static_cast<std::uint32_t>(
+                               std::max(0, nprocs - 2)));
+}
+
+TEST_P(CollectivesAcrossKinds, BroadcastValueFromEveryRoot)
+{
+    auto [kind, nprocs] = GetParam();
+    MpMachine m(smallCfg(nprocs), kind);
+    std::vector<double> got(nprocs, 0);
+    m.run([&](MpMachine::Node& n) {
+        for (NodeId root = 0; root < n.nprocs; ++root) {
+            double v = n.id == root ? root * 2.5 + 1 : -1;
+            double r = n.coll.broadcastValue(v, root);
+            if (root == n.nprocs - 1)
+                got[n.id] = r;
+            else
+                EXPECT_EQ(r, root * 2.5 + 1);
+        }
+    });
+    for (int i = 0; i < nprocs; ++i)
+        EXPECT_EQ(got[i], (nprocs - 1) * 2.5 + 1);
+}
+
+TEST_P(CollectivesAcrossKinds, BulkBroadcastDeliversPayload)
+{
+    auto [kind, nprocs] = GetParam();
+    MpMachine m(smallCfg(nprocs), kind);
+    constexpr std::size_t kBytes = 800;
+    int checked = 0;
+    m.run([&](MpMachine::Node& n) {
+        Addr buf = n.mem.alloc(kBytes);
+        NodeId root = n.nprocs > 1 ? 1 : 0;
+        if (n.id == root) {
+            for (std::size_t i = 0; i < kBytes / 8; ++i)
+                n.mem.write<double>(buf + i * 8, i * 0.25 + 7);
+        }
+        Addr data = n.coll.broadcastInPlace(buf, kBytes, root);
+        for (std::size_t i = 0; i < kBytes / 8; ++i)
+            ASSERT_EQ(n.mem.read<double>(data + i * 8), i * 0.25 + 7);
+        checked++;
+    });
+    EXPECT_EQ(checked, nprocs);
+}
+
+TEST_P(CollectivesAcrossKinds, PipelinedReductionsStaySeparate)
+{
+    auto [kind, nprocs] = GetParam();
+    MpMachine m(smallCfg(nprocs), kind);
+    m.run([&](MpMachine::Node& n) {
+        for (int round = 1; round <= 20; ++round) {
+            double r = n.coll.allReduce(round * 1.0, RedOp::Sum);
+            ASSERT_EQ(r, round * static_cast<double>(n.nprocs));
+        }
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CollectivesAcrossKinds,
+    ::testing::Combine(::testing::Values(TreeKind::Flat,
+                                         TreeKind::Binary,
+                                         TreeKind::LopSided),
+                       ::testing::Values(1, 2, 5, 8, 32)));
+
+TEST(Collectives, LopSidedBeatsFlatAndBinary)
+{
+    // The Section 5.2 ablation shape: repeated reduce+broadcast is
+    // fastest on the lop-sided tree and slowest flat.
+    auto elapsed = [](TreeKind k) {
+        MpMachine m(smallCfg(32), k);
+        m.run([&](MpMachine::Node& n) {
+            for (int i = 0; i < 50; ++i) {
+                n.coll.allReduce(n.id * 1.0 + i, RedOp::Max);
+                n.coll.broadcastValue(i, 0);
+            }
+        });
+        return m.engine().elapsed();
+    };
+    Cycle flat = elapsed(TreeKind::Flat);
+    Cycle binary = elapsed(TreeKind::Binary);
+    Cycle lop = elapsed(TreeKind::LopSided);
+    EXPECT_LT(lop, binary);
+    EXPECT_LT(binary, flat);
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Integration tests for the LCP pair: the computed vector solves the
+ * complementarity problem, synchronous MP and SM match exactly, and
+ * the asynchronous variants converge in no more steps but move much
+ * more data (the Section 5.4 tradeoff).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/lcp.hh"
+#include "core/report.hh"
+
+using namespace wwt;
+using namespace wwt::apps;
+
+namespace
+{
+
+LcpParams
+tinyParams()
+{
+    LcpParams p;
+    p.n = 256;
+    p.halfBand = 8;
+    p.tol = 1e-8;
+    return p;
+}
+
+core::MachineConfig
+cfg(std::size_t nprocs)
+{
+    core::MachineConfig c;
+    c.nprocs = nprocs;
+    return c;
+}
+
+} // namespace
+
+TEST(Lcp, MpSolvesComplementarity)
+{
+    mp::MpMachine m(cfg(4));
+    LcpResult r = runLcpMp(m, tinyParams());
+    EXPECT_LT(r.steps, tinyParams().maxSteps);
+    EXPECT_LT(r.complementarity, 1e-5);
+    // Solution is sign-feasible.
+    for (double z : r.z)
+        EXPECT_GE(z, 0.0);
+    // And non-trivial: some variables active, some at the bound.
+    std::size_t positive = 0;
+    for (double z : r.z)
+        positive += z > 0;
+    EXPECT_GT(positive, r.z.size() / 10);
+    EXPECT_LT(positive, r.z.size());
+}
+
+TEST(Lcp, SmSolvesComplementarity)
+{
+    sm::SmMachine m(cfg(4));
+    LcpResult r = runLcpSm(m, tinyParams());
+    EXPECT_LT(r.complementarity, 1e-5);
+}
+
+TEST(Lcp, SyncMpAndSmIdentical)
+{
+    // Identical arithmetic, identical staleness: bitwise equality.
+    mp::MpMachine mm(cfg(4));
+    sm::SmMachine sm_(cfg(4));
+    LcpResult a = runLcpMp(mm, tinyParams());
+    LcpResult b = runLcpSm(sm_, tinyParams());
+    EXPECT_EQ(a.steps, b.steps);
+    ASSERT_EQ(a.z.size(), b.z.size());
+    for (std::size_t i = 0; i < a.z.size(); ++i)
+        EXPECT_EQ(a.z[i], b.z[i]) << i;
+}
+
+TEST(Lcp, AsyncVariantsSolveToo)
+{
+    LcpParams p = tinyParams();
+    p.async = true;
+    mp::MpMachine mm(cfg(4));
+    LcpResult a = runLcpMp(mm, p);
+    EXPECT_LT(a.complementarity, 1e-5);
+    sm::SmMachine sm_(cfg(4));
+    LcpResult b = runLcpSm(sm_, p);
+    EXPECT_LT(b.complementarity, 1e-5);
+    // Both approximate the same unique solution.
+    for (std::size_t i = 0; i < a.z.size(); ++i)
+        EXPECT_NEAR(a.z[i], b.z[i], 1e-5) << i;
+}
+
+TEST(Lcp, AsyncConvergesInNoMoreStepsButMovesMoreData)
+{
+    LcpParams sync_p = tinyParams();
+    LcpParams async_p = tinyParams();
+    async_p.async = true;
+
+    mp::MpMachine m1(cfg(4)), m2(cfg(4));
+    LcpResult rs = runLcpMp(m1, sync_p);
+    LcpResult ra = runLcpMp(m2, async_p);
+    EXPECT_LE(ra.steps, rs.steps);
+
+    // Async pushes a whole block to everyone after every sweep; per
+    // unit of progress it moves much more data (4x at paper scale;
+    // direction is what we assert at test scale).
+    auto bytes_per_step = [](mp::MpMachine& m, std::size_t steps) {
+        auto rep = core::collectReport(m.engine());
+        return static_cast<double>(rep.counts().bytesData) / steps;
+    };
+    EXPECT_GT(bytes_per_step(m2, ra.steps),
+              2 * bytes_per_step(m1, rs.steps));
+}
+
+TEST(Lcp, ChannelWriteCountsMatchStructure)
+{
+    // Sync: one write per butterfly stage per step.
+    LcpParams p = tinyParams();
+    mp::MpMachine m(cfg(4));
+    LcpResult r = runLcpMp(m, p);
+    auto rep = core::collectReport(m.engine(), {"Init", "Solve"});
+    double cw = rep.perProc(rep.counts(1).channelWrites);
+    EXPECT_EQ(cw, static_cast<double>(r.steps * 2)); // log2(4) stages
+}
+
+TEST(Lcp, SmSyncCategoriesSplit)
+{
+    sm::SmMachine m(cfg(4));
+    runLcpSm(m, tinyParams());
+    auto rep = core::collectReport(m.engine(), {"Init", "Solve"});
+    EXPECT_GT(rep.cycles(stats::Category::SyncComp, 1), 0.0);
+    EXPECT_GT(rep.cycles(stats::Category::Barrier, 1), 0.0);
+    EXPECT_GT(rep.counts(1).sharedMissRemote, 0u);
+}

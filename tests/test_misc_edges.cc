@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Remaining edge cases: engine misuse errors, report rendering
+ * corners, allocator exhaustion, collective tree degeneracies, and
+ * counts arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/report.hh"
+#include "mem/allocator.hh"
+#include "mem/address_map.hh"
+#include "mp/collectives.hh"
+#include "sim/engine.hh"
+#include "stats/counts.hh"
+
+using namespace wwt;
+
+TEST(EngineEdge, RejectsZeroProcessorsAndZeroQuantum)
+{
+    EXPECT_THROW(sim::Engine(0), std::invalid_argument);
+    EXPECT_THROW(sim::Engine(2, 0), std::invalid_argument);
+}
+
+TEST(EngineEdge, DoubleBodyThrows)
+{
+    sim::Engine e(1);
+    e.setBody(0, [] {});
+    EXPECT_THROW(e.setBody(0, [] {}), std::logic_error);
+}
+
+TEST(EngineEdge, ResumeOfRunnableProcessorThrows)
+{
+    sim::Engine e(1);
+    e.setBody(0, [&] { e.proc(0).charge(5); });
+    EXPECT_THROW(e.proc(0).resume(10), std::logic_error);
+}
+
+TEST(EngineEdge, ProcessorsWithoutBodiesStayIdle)
+{
+    sim::Engine e(3);
+    e.setBody(1, [&] { e.proc(1).charge(50); });
+    e.run(); // procs 0 and 2 never scheduled; run terminates
+    EXPECT_EQ(e.proc(0).now(), 0u);
+    EXPECT_EQ(e.proc(1).now(), 50u);
+}
+
+TEST(EngineEdge, EventsAfterLastProcessorStillCounted)
+{
+    sim::Engine e(1);
+    int fired = 0;
+    e.setBody(0, [&] {
+        e.schedule(1'000'000, [&] { ++fired; });
+        e.proc(0).charge(10);
+    });
+    e.run();
+    // The engine stops when all processors finish; the straggler
+    // event is irrelevant to target time.
+    EXPECT_EQ(e.elapsed(), 10u);
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(ReportEdge, EmptyRunRendersZeroTables)
+{
+    sim::Engine e(2);
+    e.setBody(0, [] {});
+    e.setBody(1, [] {});
+    e.run();
+    auto rep = core::collectReport(e);
+    EXPECT_DOUBLE_EQ(rep.totalCycles(), 0.0);
+    std::string s = core::breakdownTable("Empty", rep, -1,
+                                         core::mpRows());
+    EXPECT_NE(s.find("Total"), std::string::npos);
+    EXPECT_NE(core::mpCountsTable("Empty", rep).find("-"),
+              std::string::npos); // no data bytes: ratio is "-"
+}
+
+TEST(ReportEdge, PerProcAveragesDivideBySize)
+{
+    sim::Engine e(4);
+    for (NodeId i = 0; i < 4; ++i) {
+        e.setBody(i, [&e, i] {
+            e.proc(i).stats().counts().packetsSent = 10 * (i + 1);
+            e.proc(i).charge(1);
+        });
+    }
+    e.run();
+    auto rep = core::collectReport(e);
+    EXPECT_DOUBLE_EQ(rep.perProc(rep.counts().packetsSent), 25.0);
+}
+
+TEST(AllocatorEdge, SharedExhaustionThrows)
+{
+    mem::SharedAllocator a(mem::AddressMap::kSharedBase, 8192, 2,
+                           mem::AllocPolicy::RoundRobin);
+    a.galloc(8000, 0);
+    EXPECT_THROW(a.galloc(8000, 0), std::runtime_error);
+}
+
+TEST(AllocatorEdge, AlignmentAcrossPolicies)
+{
+    for (auto pol :
+         {mem::AllocPolicy::RoundRobin, mem::AllocPolicy::Local}) {
+        mem::SharedAllocator a(mem::AddressMap::kSharedBase, 1 << 24,
+                               4, pol);
+        for (std::size_t align : {8u, 32u, 4096u}) {
+            Addr x = a.galloc(100, 1, align);
+            EXPECT_EQ(x % align, 0u);
+        }
+    }
+}
+
+TEST(CollectiveTreeEdge, SingleNodeTreeIsTrivial)
+{
+    for (auto kind : {mp::TreeKind::Flat, mp::TreeKind::Binary,
+                      mp::TreeKind::LopSided}) {
+        mp::CommTree t(1, kind, 30, 100);
+        EXPECT_EQ(t.size(), 1u);
+        EXPECT_TRUE(t.children(0).empty());
+        EXPECT_EQ(t.depth(), 0u);
+    }
+}
+
+TEST(CollectiveTreeEdge, TreesSpanAllRanks)
+{
+    for (auto kind : {mp::TreeKind::Flat, mp::TreeKind::Binary,
+                      mp::TreeKind::LopSided}) {
+        for (std::size_t P : {2u, 17u, 128u}) {
+            mp::CommTree t(P, kind, 30, 100);
+            // Every rank reachable from 0: count subtree sizes.
+            std::vector<std::size_t> sub(P, 1);
+            for (std::size_t v = P; v-- > 1;)
+                sub[t.parent(v)] += sub[v];
+            EXPECT_EQ(sub[0], P) << static_cast<int>(kind) << " " << P;
+        }
+    }
+}
+
+TEST(CountsEdge, AccumulationIsFieldwise)
+{
+    stats::Counts a, b;
+    a.privMisses = 3;
+    a.bytesData = 100;
+    a.lockAcquires = 2;
+    b.privMisses = 4;
+    b.bytesCtrl = 7;
+    a += b;
+    EXPECT_EQ(a.privMisses, 7u);
+    EXPECT_EQ(a.bytesData, 100u);
+    EXPECT_EQ(a.bytesCtrl, 7u);
+    EXPECT_EQ(a.lockAcquires, 2u);
+}
+
+TEST(PhaseEdge, UnevenPhaseCountsAcrossProcs)
+{
+    // One proc advances to phase 2, another stays in phase 0; the
+    // report pads consistently.
+    sim::Engine e(2);
+    e.setBody(0, [&] {
+        e.proc(0).charge(10);
+        e.proc(0).stats().setPhase(2);
+        e.proc(0).charge(30);
+    });
+    e.setBody(1, [&] { e.proc(1).charge(20); });
+    e.run();
+    auto rep = core::collectReport(e, {"A", "B", "C"});
+    EXPECT_EQ(rep.phaseCycles.size(), 3u);
+    EXPECT_DOUBLE_EQ(rep.totalCycles(0), 15.0); // (10 + 20) / 2
+    EXPECT_DOUBLE_EQ(rep.totalCycles(1), 0.0);
+    EXPECT_DOUBLE_EQ(rep.totalCycles(2), 15.0);
+}

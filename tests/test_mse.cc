@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Integration tests for the MSE application pair: both versions
+ * converge to the known all-ones solution, agree with each other,
+ * and show the paper's qualitative breakdown shape
+ * (computation-dominated, MP ~ SM).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/mse.hh"
+#include "core/report.hh"
+
+using namespace wwt;
+using namespace wwt::apps;
+
+namespace
+{
+
+MseParams
+tinyParams()
+{
+    MseParams p;
+    p.bodies = 16;
+    p.elemsPerBody = 4;
+    p.iters = 48;
+    p.midDist = 3;
+    p.geomInitCycles = 200'000;
+    return p;
+}
+
+core::MachineConfig
+cfg4()
+{
+    core::MachineConfig c;
+    c.nprocs = 4;
+    return c;
+}
+
+} // namespace
+
+TEST(Mse, MpConvergesToOnes)
+{
+    mp::MpMachine m(cfg4());
+    MseResult r = runMseMp(m, tinyParams());
+    ASSERT_EQ(r.solution.size(), 64u);
+    EXPECT_LT(r.maxErrFromOnes, 1e-3);
+}
+
+TEST(Mse, SmConvergesToOnes)
+{
+    sm::SmMachine m(cfg4());
+    MseResult r = runMseSm(m, tinyParams());
+    EXPECT_LT(r.maxErrFromOnes, 1e-3);
+}
+
+TEST(Mse, MpAndSmAgree)
+{
+    mp::MpMachine mm(cfg4());
+    sm::SmMachine sm_(cfg4());
+    MseResult a = runMseMp(mm, tinyParams());
+    MseResult b = runMseSm(sm_, tinyParams());
+    ASSERT_EQ(a.solution.size(), b.solution.size());
+    for (std::size_t i = 0; i < a.solution.size(); ++i)
+        EXPECT_NEAR(a.solution[i], b.solution[i], 2e-3) << i;
+}
+
+TEST(Mse, BothAreComputationDominated)
+{
+    mp::MpMachine mm(cfg4());
+    runMseMp(mm, tinyParams());
+    core::MachineReport mp_rep =
+        core::collectReport(mm.engine(), {"Init", "Main"});
+
+    sm::SmMachine sm_(cfg4());
+    runMseSm(sm_, tinyParams());
+    core::MachineReport sm_rep =
+        core::collectReport(sm_.engine(), {"Init", "Main"});
+
+    double mp_comp = mp_rep.cycles(stats::Category::Computation);
+    double sm_comp = sm_rep.cycles(stats::Category::Computation);
+    EXPECT_GT(mp_comp / mp_rep.totalCycles(), 0.5);
+    EXPECT_GT(sm_comp / sm_rep.totalCycles(), 0.5);
+
+    // Computation per processor is similar; MP does the geometry
+    // setup everywhere, SM only on node 0, so MP computes more.
+    EXPECT_GT(mp_comp, sm_comp);
+    // SM idles in Start-up Wait while node 0 initializes.
+    EXPECT_GT(sm_rep.cycles(stats::Category::StartupWait), 0.0);
+
+    // Total run times are in the same ballpark (the paper: 98%/102%).
+    double ratio = mp_rep.totalCycles() / sm_rep.totalCycles();
+    EXPECT_GT(ratio, 0.5);
+    EXPECT_LT(ratio, 2.0);
+}
+
+TEST(Mse, ScheduleThinsCommunication)
+{
+    // With a far-period of 1 (exchange everything always), traffic
+    // rises sharply compared to the thinned schedule.
+    MseParams thin = tinyParams();
+    thin.midPeriod = 4;
+    thin.farPeriod = 8;
+    MseParams dense = tinyParams();
+    dense.midPeriod = 1;
+    dense.farPeriod = 1;
+
+    mp::MpMachine m1(cfg4());
+    runMseMp(m1, thin);
+    mp::MpMachine m2(cfg4());
+    runMseMp(m2, dense);
+    auto thin_bytes =
+        core::collectReport(m1.engine()).counts().bytesData;
+    auto dense_bytes =
+        core::collectReport(m2.engine()).counts().bytesData;
+    EXPECT_LT(thin_bytes * 2, dense_bytes);
+}
+
+TEST(Mse, DeterministicAcrossRuns)
+{
+    mp::MpMachine m1(cfg4());
+    runMseMp(m1, tinyParams());
+    mp::MpMachine m2(cfg4());
+    runMseMp(m2, tinyParams());
+    EXPECT_EQ(m1.engine().elapsed(), m2.engine().elapsed());
+}

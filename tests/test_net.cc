@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the interconnect and the hardware barrier.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/hw_barrier.hh"
+#include "net/network.hh"
+
+using namespace wwt;
+using namespace wwt::sim;
+using namespace wwt::net;
+
+TEST(Network, DeliversAfterLatency)
+{
+    Engine e(2);
+    Network net(e, 100, 10);
+    EXPECT_EQ(net.latency(0, 1), 100u);
+    EXPECT_EQ(net.latency(1, 1), 10u);
+
+    Cycle delivered = 0;
+    e.setBody(0, [&] {
+        Processor& p = e.proc(0);
+        p.charge(42);
+        net.deliver(p.now(), 0, 1, [&] { delivered = 142; });
+        p.charge(500);
+    });
+    e.run();
+    EXPECT_EQ(delivered, 142u);
+}
+
+TEST(HwBarrier, ReleasesAtLastArrivalPlusLatency)
+{
+    Engine e(3);
+    HwBarrier bar(e, 3, 100);
+    std::vector<Cycle> out(3);
+    Cycle work[3] = {50, 500, 1200};
+    for (NodeId i = 0; i < 3; ++i) {
+        e.setBody(i, [&, i] {
+            e.proc(i).charge(work[i]);
+            bar.wait(e.proc(i));
+            out[i] = e.proc(i).now();
+        });
+    }
+    e.run();
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(out[i], 1300u) << "proc " << i;
+    EXPECT_EQ(bar.episodes(), 1u);
+}
+
+TEST(HwBarrier, RepeatedEpisodes)
+{
+    Engine e(2);
+    HwBarrier bar(e, 2, 100);
+    for (NodeId i = 0; i < 2; ++i) {
+        e.setBody(i, [&, i] {
+            for (int k = 0; k < 5; ++k) {
+                e.proc(i).charge(10 * (i + 1));
+                bar.wait(e.proc(i));
+            }
+        });
+    }
+    e.run();
+    EXPECT_EQ(bar.episodes(), 5u);
+    EXPECT_EQ(e.proc(0).now(), e.proc(1).now());
+}
+
+TEST(HwBarrier, WaitChargesBarrierCategory)
+{
+    Engine e(2);
+    HwBarrier bar(e, 2, 100);
+    e.setBody(0, [&] { bar.wait(e.proc(0)); });
+    e.setBody(1, [&] {
+        e.proc(1).charge(900);
+        bar.wait(e.proc(1));
+    });
+    e.run();
+    auto barrier_cycles = [&](NodeId n) {
+        return e.proc(n).stats().total().cycles[static_cast<std::size_t>(
+            stats::Category::Barrier)];
+    };
+    EXPECT_EQ(barrier_cycles(0), 1000u); // waited 0 -> 1000
+    EXPECT_EQ(barrier_cycles(1), 100u);  // only the release latency
+    EXPECT_EQ(e.proc(0).stats().total().counts.barriers, 1u);
+}

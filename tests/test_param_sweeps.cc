@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Parameterized sweeps over hardware geometries and machine sizes:
+ * cache configurations, TLB capacities, machine widths for barriers
+ * and reductions, and quantum sizes — cheap checks that invariants
+ * hold across the whole configuration space the simulators accept.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/common.hh"
+#include "mem/cache.hh"
+#include "mem/tlb.hh"
+#include "mp/mp_machine.hh"
+#include "sm/sm_machine.hh"
+
+using namespace wwt;
+
+// ---------------------------------------------------------------------
+// Cache geometry sweep.
+// ---------------------------------------------------------------------
+
+class CacheGeometry
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t>>
+{
+};
+
+TEST_P(CacheGeometry, InvariantsHold)
+{
+    auto [kb, assoc, block] = GetParam();
+    mem::Cache c(kb * 1024, assoc, block, 99);
+    std::size_t capacity = kb * 1024 / block;
+
+    // Fill with twice the capacity; never exceed capacity, never
+    // lose a just-inserted block, victims always valid lines.
+    apps::Rng rng(kb * 131 + assoc);
+    for (std::size_t i = 0; i < 2 * capacity; ++i) {
+        Addr b = rng.below(1 << 22);
+        if (c.find(b))
+            continue;
+        mem::Victim v = c.insert(b, mem::LineState::Exclusive, false);
+        ASSERT_NE(c.find(b), nullptr);
+        if (v.valid)
+            ASSERT_EQ(c.find(v.block), nullptr);
+        ASSERT_LE(c.validLines(), capacity);
+    }
+    // After enough inserts the cache is (nearly) full.
+    EXPECT_GT(c.validLines(), capacity / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Combine(::testing::Values(8, 64, 256),
+                       ::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(16, 32, 64)));
+
+// ---------------------------------------------------------------------
+// TLB capacity sweep.
+// ---------------------------------------------------------------------
+
+class TlbCapacity : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(TlbCapacity, HoldsExactlyCapacityPages)
+{
+    std::size_t entries = GetParam();
+    mem::Tlb t(entries);
+    for (Addr p = 0; p < entries; ++p)
+        EXPECT_FALSE(t.access(p << 12));
+    for (Addr p = 0; p < entries; ++p)
+        EXPECT_TRUE(t.access(p << 12));
+    EXPECT_EQ(t.valid(), entries);
+    // One more page displaces exactly the oldest (page 0); the rest
+    // survive. Re-inserting page 0 then displaces page 1 (FIFO).
+    EXPECT_FALSE(t.access(entries << 12));
+    EXPECT_FALSE(t.access(0));
+    if (entries > 2)
+        EXPECT_TRUE(t.access(2 << 12));
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, TlbCapacity,
+                         ::testing::Values(1, 4, 64, 256));
+
+// ---------------------------------------------------------------------
+// Machine-width sweep: barriers, reductions, locks at many sizes.
+// ---------------------------------------------------------------------
+
+class MachineWidth : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(MachineWidth, BarriersSynchronizeEveryone)
+{
+    std::size_t P = GetParam();
+    core::MachineConfig cfg;
+    cfg.nprocs = P;
+    mp::MpMachine m(cfg);
+    std::vector<Cycle> at(P);
+    m.run([&](mp::MpMachine::Node& n) {
+        n.charge((n.id + 1) * 37);
+        n.barrier();
+        at[n.id] = n.proc.now();
+    });
+    for (std::size_t i = 1; i < P; ++i)
+        EXPECT_EQ(at[i], at[0]);
+    EXPECT_EQ(at[0], P * 37 + 100);
+}
+
+TEST_P(MachineWidth, SmReductionCorrectAtAnyWidth)
+{
+    std::size_t P = GetParam();
+    core::MachineConfig cfg;
+    cfg.nprocs = P;
+    cfg.allocPolicy = mem::AllocPolicy::Local;
+    sm::SmMachine m(cfg);
+    std::vector<double> got(P);
+    m.run([&](sm::SmMachine::Node& n) {
+        n.barrier();
+        got[n.id] = n.reduce(n.id + 1.0, sm::SmRedOp::Sum,
+                             stats::syncSplitAttribution());
+    });
+    double want = P * (P + 1) / 2.0;
+    for (std::size_t i = 0; i < P; ++i)
+        EXPECT_EQ(got[i], want) << i;
+}
+
+TEST_P(MachineWidth, McsLockSerializesAtAnyWidth)
+{
+    std::size_t P = GetParam();
+    core::MachineConfig cfg;
+    cfg.nprocs = P;
+    sm::SmMachine m(cfg);
+    std::size_t lock = m.createLock(static_cast<NodeId>(P / 2));
+    Addr ctr = 0;
+    m.run([&](sm::SmMachine::Node& n) {
+        if (n.id == 0) {
+            ctr = n.gmallocLocal(64);
+            n.mem.poke<std::uint64_t>(ctr, 0);
+        }
+        n.barrier();
+        for (int k = 0; k < 5; ++k) {
+            n.lockAcquire(lock);
+            n.wr<std::uint64_t>(ctr, n.rd<std::uint64_t>(ctr) + 1);
+            n.lockRelease(lock);
+        }
+    });
+    EXPECT_EQ(m.node(0).mem.peek<std::uint64_t>(ctr), P * 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MachineWidth,
+                         ::testing::Values(1, 2, 3, 5, 8, 17, 32));
+
+// ---------------------------------------------------------------------
+// Quantum-size robustness: results identical across quantum choices
+// that still satisfy causality (quantum <= min latency).
+// ---------------------------------------------------------------------
+
+class QuantumSweep : public ::testing::TestWithParam<Cycle>
+{
+};
+
+TEST_P(QuantumSweep, ValuesUnaffectedByWindowSize)
+{
+    core::MachineConfig cfg;
+    cfg.nprocs = 4;
+    cfg.quantum = GetParam();
+    sm::SmMachine m(cfg);
+    Addr a = 0;
+    double sum = 0;
+    m.run([&](sm::SmMachine::Node& n) {
+        if (n.id == 0)
+            a = n.gmalloc(4 * 64, 64);
+        n.startupBarrier();
+        n.wr<double>(a + n.id * 64, n.id * 2.5);
+        n.barrier();
+        if (n.id == 3) {
+            for (int i = 0; i < 4; ++i)
+                sum += n.rd<double>(a + i * 64);
+        }
+    });
+    EXPECT_EQ(sum, 15.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quanta, QuantumSweep,
+                         ::testing::Values(10, 25, 50, 100));

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Property-style tests: parameterized sweeps asserting invariants of
+ * the protocol, the channels, and the engine under randomized
+ * workloads — coherence (single-writer/multi-reader), atomicity,
+ * data integrity across transfer sizes, and bit-for-bit determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/common.hh"
+#include "core/config.hh"
+#include "mp/mp_machine.hh"
+#include "sm/sm_machine.hh"
+
+using namespace wwt;
+
+namespace
+{
+
+core::MachineConfig
+cfg(std::size_t nprocs)
+{
+    core::MachineConfig c;
+    c.nprocs = nprocs;
+    return c;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Channel transfer integrity across sizes.
+// ---------------------------------------------------------------------
+
+class ChannelSizes : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(ChannelSizes, RoundTripsExactBytes)
+{
+    std::size_t bytes = GetParam();
+    mp::MpMachine m(cfg(2));
+    bool checked = false;
+    m.run([&](mp::MpMachine::Node& n) {
+        Addr buf = n.mem.alloc(bytes);
+        if (n.id == 1)
+            n.chans.armRecv(5, buf, bytes);
+        n.barrier();
+        if (n.id == 0) {
+            for (std::size_t i = 0; i < bytes / 4; ++i) {
+                n.mem.write<std::uint32_t>(
+                    buf + i * 4,
+                    static_cast<std::uint32_t>(i * 2654435761u));
+            }
+            n.chans.write(1, 5, buf, bytes);
+        } else {
+            n.chans.waitRecv(5);
+            for (std::size_t i = 0; i < bytes / 4; ++i) {
+                ASSERT_EQ(n.mem.read<std::uint32_t>(buf + i * 4),
+                          static_cast<std::uint32_t>(i * 2654435761u));
+            }
+            checked = true;
+        }
+    });
+    EXPECT_TRUE(checked);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChannelSizes,
+                         ::testing::Values(4, 8, 12, 16, 20, 32, 100,
+                                           256, 1000, 4096, 65536));
+
+// ---------------------------------------------------------------------
+// Coherence: concurrent randomized reads/writes never lose updates
+// when writes are partitioned, and atomic increments never collide.
+// ---------------------------------------------------------------------
+
+class ProtocolSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ProtocolSeeds, PartitionedWritesAllSurvive)
+{
+    // Each processor owns a disjoint slice but reads everywhere;
+    // after a barrier, every written value must be visible to all.
+    std::uint64_t seed = GetParam();
+    sm::SmMachine m(cfg(4));
+    Addr arr = 0;
+    constexpr std::size_t kWords = 128;
+    int bad = 0;
+    m.run([&](sm::SmMachine::Node& n) {
+        if (n.id == 0)
+            arr = n.gmalloc(kWords * 8);
+        n.startupBarrier();
+        apps::Rng rng(seed + n.id);
+        // Interleave: random foreign reads between my writes.
+        for (std::size_t k = 0; k < kWords / 4; ++k) {
+            std::size_t mine = n.id * (kWords / 4) + k;
+            n.wr<std::uint64_t>(arr + mine * 8, 1000 + mine);
+            n.rd<std::uint64_t>(arr + rng.below(kWords) * 8);
+        }
+        n.barrier();
+        for (std::size_t i = 0; i < kWords; ++i) {
+            if (n.rd<std::uint64_t>(arr + i * 8) != 1000 + i)
+                ++bad;
+        }
+    });
+    EXPECT_EQ(bad, 0);
+}
+
+TEST_P(ProtocolSeeds, SwapCountersNeverLoseIncrements)
+{
+    std::uint64_t seed = GetParam();
+    sm::SmMachine m(cfg(8));
+    Addr ctr = 0;
+    constexpr int kPerProc = 30;
+    m.run([&](sm::SmMachine::Node& n) {
+        if (n.id == 0) {
+            ctr = n.gmallocLocal(64);
+            n.mem.poke<std::uint64_t>(ctr, 0);
+        }
+        n.barrier();
+        apps::Rng rng(seed * 7 + n.id);
+        for (int k = 0; k < kPerProc; ++k) {
+            // Fetch-and-increment built from CAS.
+            while (true) {
+                std::uint64_t cur = n.rd<std::uint64_t>(ctr);
+                if (n.mem.cas(ctr, cur, cur + 1) == cur)
+                    break;
+                n.charge(2);
+            }
+            n.charge(1 + rng.below(40)); // jitter the interleaving
+        }
+    });
+    EXPECT_EQ(m.node(0).mem.peek<std::uint64_t>(ctr),
+              8ull * kPerProc);
+}
+
+TEST_P(ProtocolSeeds, DeterministicCycleCounts)
+{
+    std::uint64_t seed = GetParam();
+    auto run = [seed] {
+        sm::SmMachine m(cfg(4));
+        Addr arr = 0;
+        m.run([&](sm::SmMachine::Node& n) {
+            if (n.id == 0)
+                arr = n.gmalloc(256 * 8);
+            n.startupBarrier();
+            apps::Rng rng(seed ^ (0xabcdu * (n.id + 1)));
+            for (int k = 0; k < 300; ++k) {
+                Addr a = arr + rng.below(256) * 8;
+                if (rng.below(3) == 0)
+                    n.wr<std::uint64_t>(a, k);
+                else
+                    n.rd<std::uint64_t>(a);
+                n.charge(1 + rng.below(10));
+            }
+            n.barrier();
+        });
+        return m.engine().elapsed();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolSeeds,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+// ---------------------------------------------------------------------
+// Cache + protocol state invariant: after quiescence, a block the
+// directory thinks is Exclusive is cached Exclusive by exactly its
+// owner; Shared blocks have no Exclusive copies anywhere.
+// ---------------------------------------------------------------------
+
+TEST(ProtocolInvariant, DirectoryAgreesWithCachesAfterQuiescence)
+{
+    sm::SmMachine m(cfg(4));
+    Addr arr = 0;
+    constexpr std::size_t kBlocks = 64;
+    m.run([&](sm::SmMachine::Node& n) {
+        if (n.id == 0)
+            arr = n.gmalloc(kBlocks * kBlockBytes, kBlockBytes);
+        n.startupBarrier();
+        apps::Rng rng(31 * (n.id + 1));
+        for (int k = 0; k < 500; ++k) {
+            Addr a = arr + rng.below(kBlocks) * kBlockBytes;
+            if (rng.below(4) == 0)
+                n.wr<std::uint64_t>(a, n.id);
+            else
+                n.rd<std::uint64_t>(a);
+        }
+        n.barrier();
+    });
+
+    for (std::size_t b = 0; b < kBlocks; ++b) {
+        Addr a = arr + b * kBlockBytes;
+        auto snap = m.protocol().snapshot(a);
+        int exclusive_copies = 0;
+        NodeId holder = 0;
+        for (NodeId i = 0; i < 4; ++i) {
+            const mem::Line* line =
+                m.node(i).mem.cache().find(a / kBlockBytes);
+            if (line && line->state == mem::LineState::Exclusive) {
+                ++exclusive_copies;
+                holder = i;
+            }
+        }
+        if (snap.state == 2) { // Exclusive at the directory
+            // The owner may have silently evicted; but nobody else
+            // may hold an exclusive copy.
+            EXPECT_LE(exclusive_copies, 1) << "block " << b;
+            if (exclusive_copies == 1)
+                EXPECT_EQ(holder, snap.owner) << "block " << b;
+        } else {
+            EXPECT_EQ(exclusive_copies, 0) << "block " << b;
+        }
+        EXPECT_FALSE(snap.busy) << "block " << b;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collectives under randomized timing jitter.
+// ---------------------------------------------------------------------
+
+TEST(CollectiveJitter, ReductionsRobustToSkew)
+{
+    mp::MpMachine m(cfg(8));
+    m.run([&](mp::MpMachine::Node& n) {
+        apps::Rng rng(n.id + 5);
+        for (int round = 0; round < 25; ++round) {
+            n.charge(1 + rng.below(5000)); // wildly uneven arrival
+            double r =
+                n.coll.allReduce(n.id + round * 0.5, mp::RedOp::Max);
+            ASSERT_EQ(r, 7 + round * 0.5);
+        }
+    });
+}
+
+TEST(CollectiveJitter, SmReductionRobustToSkew)
+{
+    sm::SmMachine m(cfg(8));
+    m.run([&](sm::SmMachine::Node& n) {
+        apps::Rng rng(n.id + 11);
+        for (int round = 0; round < 25; ++round) {
+            n.charge(1 + rng.below(5000));
+            double r = n.reduce(n.id + round * 1.0, sm::SmRedOp::Max,
+                                stats::syncSplitAttribution());
+            ASSERT_EQ(r, 7 + round * 1.0);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Accounting invariants.
+// ---------------------------------------------------------------------
+
+TEST(Accounting, ElapsedNeverBelowAnyProcessorTotal)
+{
+    // A processor's attributed cycles can't exceed the machine's
+    // elapsed time (every charged cycle advances its clock).
+    mp::MpMachine m(cfg(4));
+    m.run([&](mp::MpMachine::Node& n) {
+        Addr a = n.mem.alloc(4096);
+        for (int i = 0; i < 100; ++i)
+            n.mem.write<double>(a + (i % 512) * 8, i);
+        n.coll.allReduce(1.0, mp::RedOp::Sum);
+        n.barrier();
+    });
+    for (NodeId i = 0; i < 4; ++i) {
+        auto tot = m.engine().proc(i).stats().total();
+        EXPECT_LE(tot.totalCycles(), m.engine().elapsed()) << i;
+        EXPECT_EQ(tot.totalCycles(), m.engine().proc(i).now()) << i;
+    }
+}
+
+TEST(Accounting, MpBytesSplitConsistent)
+{
+    // data + control == 20 bytes x packets, always.
+    mp::MpMachine m(cfg(2));
+    m.run([&](mp::MpMachine::Node& n) {
+        Addr buf = n.mem.alloc(1024);
+        if (n.id == 0)
+            n.cmmd.send(1, 3, buf, 1024);
+        else
+            n.cmmd.recv(0, 3, buf, 1024);
+        n.coll.allReduce(2.0, mp::RedOp::Sum);
+    });
+    for (NodeId i = 0; i < 2; ++i) {
+        auto c = m.engine().proc(i).stats().total().counts;
+        EXPECT_EQ(c.bytesData + c.bytesCtrl,
+                  c.packetsSent * core::kMpPacketBytes)
+            << i;
+    }
+}

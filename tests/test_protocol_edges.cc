@@ -1,0 +1,214 @@
+/**
+ * @file
+ * White-box edge cases of the Dir_nNB protocol: request queues on
+ * busy blocks, stale-owner requests after silent writebacks, racing
+ * evictions, invalidations to stale sharers, upgrade requests whose
+ * copy vanished in flight, and replacement hints.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config.hh"
+#include "sm/sm_machine.hh"
+
+using namespace wwt;
+using namespace wwt::sm;
+
+namespace
+{
+
+core::MachineConfig
+cfg(std::size_t nprocs)
+{
+    core::MachineConfig c;
+    c.nprocs = nprocs;
+    return c;
+}
+
+} // namespace
+
+TEST(ProtocolEdge, ManyReadersOfExclusiveBlockQueue)
+{
+    // The owner holds the block dirty; many readers pile on: the
+    // directory must serialize one fetch and then serve everyone the
+    // correct value.
+    SmMachine m(cfg(8));
+    Addr a = 0;
+    std::vector<double> got(8, 0);
+    m.run([&](SmMachine::Node& n) {
+        if (n.id == 0) {
+            a = n.gmallocLocal(64);
+            n.wr<double>(a, 3.5); // exclusive + dirty at node 0
+        }
+        n.barrier();
+        if (n.id != 0)
+            got[n.id] = n.rd<double>(a);
+    });
+    for (int i = 1; i < 8; ++i)
+        EXPECT_EQ(got[i], 3.5) << i;
+    auto snap = m.protocol().snapshot(a);
+    EXPECT_EQ(snap.state, 1); // Shared
+    EXPECT_FALSE(snap.busy);
+    EXPECT_GE(snap.sharers, 7u);
+}
+
+TEST(ProtocolEdge, ReRequestAfterSilentEviction)
+{
+    // A node that silently dropped its clean copy re-misses; the
+    // directory's stale sharer entry must not break anything.
+    core::MachineConfig c = cfg(2);
+    c.cache.bytes = 1024; // tiny: evictions guaranteed
+    c.cache.assoc = 1;
+    SmMachine m(c);
+    Addr arr = 0;
+    m.run([&](SmMachine::Node& n) {
+        if (n.id == 0)
+            arr = n.gmallocLocal(64 * 1024, 32);
+        n.barrier();
+        if (n.id == 1) {
+            // Stream enough blocks to cycle the whole cache several
+            // times, then re-read the first ones.
+            for (int pass = 0; pass < 3; ++pass) {
+                for (int b = 0; b < 128; ++b)
+                    ASSERT_EQ(n.rd<double>(arr + b * 32), 0.0);
+            }
+        }
+    });
+    auto counts = m.engine().proc(1).stats().total().counts;
+    EXPECT_GT(counts.sharedMissRemote, 300u); // re-misses happened
+}
+
+TEST(ProtocolEdge, OwnerReWritesAfterDirtyEviction)
+{
+    // Dirty eviction sends a writeback; the owner then writes the
+    // block again while the directory may still think it owns it.
+    core::MachineConfig c = cfg(2);
+    c.cache.bytes = 1024;
+    c.cache.assoc = 1;
+    SmMachine m(c);
+    Addr arr = 0;
+    m.run([&](SmMachine::Node& n) {
+        if (n.id == 0)
+            arr = n.gmallocLocal(64 * 1024, 32);
+        n.barrier();
+        if (n.id == 1) {
+            for (int pass = 0; pass < 3; ++pass) {
+                for (int b = 0; b < 128; ++b)
+                    n.wr<double>(arr + b * 32, pass * 1000 + b);
+            }
+            for (int b = 0; b < 128; ++b)
+                ASSERT_EQ(n.rd<double>(arr + b * 32), 2000 + b);
+        }
+    });
+    EXPECT_GT(m.engine().proc(1).stats().total().counts.writeBacks,
+              100u);
+}
+
+TEST(ProtocolEdge, InvalidationRaceWithUpgrade)
+{
+    // Two processors upgrade the same shared block simultaneously;
+    // the directory serializes them and the final value is one of
+    // the two writes (and both must complete without deadlock).
+    SmMachine m(cfg(3));
+    Addr a = 0;
+    m.run([&](SmMachine::Node& n) {
+        if (n.id == 0) {
+            a = n.gmallocLocal(64);
+            n.wr<double>(a, 0.0);
+        }
+        n.barrier();
+        n.rd<double>(a); // all take shared copies
+        n.barrier();
+        if (n.id == 1)
+            n.wr<double>(a, 111.0);
+        if (n.id == 2)
+            n.wr<double>(a, 222.0);
+        n.barrier();
+        double v = n.rd<double>(a);
+        EXPECT_TRUE(v == 111.0 || v == 222.0);
+    });
+}
+
+TEST(ProtocolEdge, ReplacementHintAvoidsLaterInvalidation)
+{
+    SmMachine m(cfg(2));
+    Addr a = 0;
+    m.run([&](SmMachine::Node& n) {
+        if (n.id == 0) {
+            a = n.gmallocLocal(64);
+            n.wr<double>(a, 1.0);
+        }
+        n.barrier();
+        if (n.id == 1) {
+            n.rd<double>(a);  // shared copy
+            n.mem.flush(a);   // hint: drop it, tell home
+            n.charge(1000);   // let the hint land
+        }
+        n.barrier();
+        if (n.id == 0)
+            n.wr<double>(a, 2.0); // upgrade: no invalidations needed
+        n.barrier();
+        if (n.id == 1)
+            EXPECT_EQ(n.rd<double>(a), 2.0);
+    });
+    EXPECT_EQ(m.engine().proc(0).stats().total().counts.invalsSent,
+              0u);
+}
+
+TEST(ProtocolEdge, FlushOfDirtyBlockWritesBack)
+{
+    SmMachine m(cfg(2));
+    Addr a = 0;
+    m.run([&](SmMachine::Node& n) {
+        if (n.id == 0)
+            a = n.gmallocLocal(64);
+        n.barrier();
+        if (n.id == 1) {
+            n.wr<double>(a, 9.5); // exclusive dirty
+            n.mem.flush(a);
+            n.charge(1000);
+        }
+        n.barrier();
+        if (n.id == 0)
+            EXPECT_EQ(n.rd<double>(a), 9.5);
+    });
+    EXPECT_EQ(m.engine().proc(1).stats().total().counts.writeBacks,
+              1u);
+}
+
+TEST(ProtocolEdge, AtomicOnSharedLineUpgrades)
+{
+    SmMachine m(cfg(2));
+    Addr a = 0;
+    std::uint64_t old = 99;
+    m.run([&](SmMachine::Node& n) {
+        if (n.id == 0) {
+            a = n.gmallocLocal(64);
+            n.mem.poke<std::uint64_t>(a, 5);
+        }
+        n.barrier();
+        if (n.id == 1) {
+            n.rd<std::uint64_t>(a); // shared copy first
+            old = n.mem.swap(a, 6); // upgrade + swap
+        }
+    });
+    EXPECT_EQ(old, 5u);
+    EXPECT_EQ(m.node(0).mem.peek<std::uint64_t>(a), 6u);
+    EXPECT_EQ(m.engine().proc(1).stats().total().counts.writeFaults,
+              1u);
+}
+
+TEST(ProtocolEdge, SelfMessagesCountNoBytes)
+{
+    SmMachine m(cfg(2));
+    m.run([&](SmMachine::Node& n) {
+        if (n.id == 0) {
+            Addr a = n.gmallocLocal(64);
+            n.rd<double>(a); // miss to own home: internal only
+        }
+    });
+    auto counts = m.engine().proc(0).stats().total().counts;
+    EXPECT_EQ(counts.bytesData + counts.bytesCtrl, 0u);
+    EXPECT_EQ(counts.protoMsgs, 0u);
+    EXPECT_EQ(counts.sharedMissLocal, 1u);
+}

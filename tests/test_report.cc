@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for statistics aggregation and paper-style table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/report.hh"
+#include "stats/table.hh"
+
+using namespace wwt;
+using namespace wwt::core;
+
+TEST(TableFormat, Counts)
+{
+    EXPECT_EQ(stats::fmtCount(1271), "1271");
+    EXPECT_EQ(stats::fmtCount(23590), "23,590");
+    EXPECT_EQ(stats::fmtCount(2400000), "2.4M");
+    EXPECT_EQ(stats::fmtCount(0), "0");
+}
+
+TEST(TableFormat, CyclesAndPct)
+{
+    EXPECT_EQ(stats::fmtMCycles(1115900000ull), "1115.9");
+    EXPECT_EQ(stats::fmtPct(0.9), "90%");
+}
+
+TEST(TableFormat, RendersAligned)
+{
+    stats::Table t("Demo");
+    t.setHeader({"Category", "Cycles (M)", "%"});
+    t.addRow({"Computation", "1115.9", "90%"});
+    t.addRow({stats::indentLabel("Lib Comp", 1), "69.9", "6%"});
+    std::string s = t.str();
+    EXPECT_NE(s.find("Computation"), std::string::npos);
+    EXPECT_NE(s.find("  Lib Comp"), std::string::npos);
+    EXPECT_NE(s.find("90%"), std::string::npos);
+}
+
+TEST(Report, CollectAveragesOverProcs)
+{
+    sim::Engine e(2);
+    e.setBody(0, [&] { e.proc(0).charge(100); });
+    e.setBody(1, [&] {
+        e.proc(1).charge(300);
+        e.proc(1).stats().counts().bytesData += 50;
+    });
+    e.run();
+    MachineReport rep = collectReport(e);
+    EXPECT_EQ(rep.nprocs, 2u);
+    EXPECT_DOUBLE_EQ(rep.cycles(stats::Category::Computation), 200.0);
+    EXPECT_DOUBLE_EQ(rep.totalCycles(), 200.0);
+    EXPECT_EQ(rep.counts().bytesData, 50u);
+    EXPECT_DOUBLE_EQ(rep.perProc(rep.counts().bytesData), 25.0);
+}
+
+TEST(Report, PhasesSeparateAndTotal)
+{
+    sim::Engine e(1);
+    e.setBody(0, [&] {
+        e.proc(0).charge(100);
+        e.proc(0).stats().setPhase(1);
+        e.proc(0).advance(sim::CostKind::PrivMiss, 40);
+    });
+    e.run();
+    MachineReport rep = collectReport(e, {"Init", "Main"});
+    EXPECT_DOUBLE_EQ(rep.totalCycles(0), 100.0);
+    EXPECT_DOUBLE_EQ(rep.totalCycles(1), 40.0);
+    EXPECT_DOUBLE_EQ(rep.totalCycles(-1), 140.0);
+    EXPECT_EQ(rep.phaseNames[0], "Init");
+
+    std::string s = phaseBreakdownTable("T", rep, mpRows());
+    EXPECT_NE(s.find("Init"), std::string::npos);
+    EXPECT_NE(s.find("Main"), std::string::npos);
+    EXPECT_NE(s.find("Local Misses"), std::string::npos);
+}
+
+TEST(Report, BreakdownTableSumsTopLevelRows)
+{
+    sim::Engine e(1);
+    e.setBody(0, [&] {
+        sim::Processor& p = e.proc(0);
+        p.charge(900);
+        sim::AttrScope lib(p, stats::libAttribution());
+        p.charge(100);
+    });
+    e.run();
+    MachineReport rep = collectReport(e);
+    std::pair<std::string, double> rel{"Relative to Shared Memory",
+                                       0.98};
+    std::string s = breakdownTable("MP", rep, -1, mpRows(), &rel);
+    EXPECT_NE(s.find("Total"), std::string::npos);
+    EXPECT_NE(s.find("100%"), std::string::npos);
+    EXPECT_NE(s.find("Relative to Shared Memory"), std::string::npos);
+    EXPECT_NE(s.find("98%"), std::string::npos);
+    // 900 computation of 1000 total = 90%.
+    EXPECT_NE(s.find("90%"), std::string::npos);
+}
+
+TEST(Report, CountTablesRender)
+{
+    sim::Engine e(1);
+    e.setBody(0, [&] {
+        sim::Processor& p = e.proc(0);
+        p.charge(1000);
+        auto& c = p.stats().counts();
+        c.privMisses = 7;
+        c.bytesData = 100;
+        c.bytesCtrl = 40;
+        c.channelWrites = 3;
+        c.activeMsgs = 2;
+        c.sharedMissLocal = 1;
+        c.sharedMissRemote = 4;
+        c.writeFaults = 6;
+    });
+    e.run();
+    MachineReport rep = collectReport(e);
+    std::string mp = mpCountsTable("MP counts", rep);
+    EXPECT_NE(mp.find("Channel Writes"), std::string::npos);
+    EXPECT_NE(mp.find("140"), std::string::npos); // total bytes
+    EXPECT_NE(mp.find("10"), std::string::npos);  // 1000/100 ratio
+    std::string sm = smCountsTable("SM counts", rep);
+    EXPECT_NE(sm.find("Write Faults"), std::string::npos);
+    EXPECT_NE(sm.find("Remote"), std::string::npos);
+}

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Tests for the Dir_nNB directory protocol: miss/fill round trips with
+ * Table 3 latencies, invalidations, write faults, producer-consumer
+ * four-message behavior, writebacks, atomics, and directory
+ * contention.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config.hh"
+#include "sm/sm_machine.hh"
+
+using namespace wwt;
+using namespace wwt::sm;
+
+namespace
+{
+
+core::MachineConfig
+smallCfg(std::size_t nprocs, mem::AllocPolicy pol = mem::AllocPolicy::Local)
+{
+    core::MachineConfig cfg;
+    cfg.nprocs = nprocs;
+    cfg.allocPolicy = pol;
+    return cfg;
+}
+
+std::uint64_t
+catCycles(sim::Engine& e, NodeId n, stats::Category c)
+{
+    return e.proc(n).stats().total().cycles[static_cast<std::size_t>(c)];
+}
+
+} // namespace
+
+TEST(SmProtocol, LocalReadMissLatency)
+{
+    // Home == requester: 19 (overhead) + 10 (self msg) + 23 (dir
+    // service) + 10 (self msg back) = 62 stall cycles, +1 for the
+    // load, +36 TLB on first touch.
+    SmMachine m(smallCfg(1));
+    m.run([&](SmMachine::Node& n) {
+        Addr a = n.gmalloc(64);
+        Cycle t0 = n.proc.now();
+        n.rd<double>(a);
+        EXPECT_EQ(n.proc.now() - t0, 36u + 1 + 19 + 10 + 23 + 10);
+        Cycle t1 = n.proc.now();
+        n.rd<double>(a + 8); // same block: plain hit
+        EXPECT_EQ(n.proc.now() - t1, 1u);
+    });
+    auto c = m.engine().proc(0).stats().total().counts;
+    EXPECT_EQ(c.sharedMissLocal, 1u);
+    EXPECT_EQ(c.sharedMissRemote, 0u);
+}
+
+TEST(SmProtocol, RemoteReadMissLatency)
+{
+    // Home != requester: 19 + 100 + 23 + 100 = 242 stall, +1 load,
+    // +36 first-touch TLB. The address is shared host-side.
+    SmMachine m2(smallCfg(2));
+    Addr shared_addr = 0;
+    Cycle stall = 0;
+    m2.run([&](SmMachine::Node& n) {
+        if (n.id == 1)
+            shared_addr = n.gmallocLocal(64);
+        n.barrier();
+        if (n.id == 0) {
+            Cycle t0 = n.proc.now();
+            n.rd<double>(shared_addr);
+            stall = n.proc.now() - t0;
+        }
+    });
+    EXPECT_EQ(stall, 36u + 1 + 19 + 100 + 23 + 100);
+    EXPECT_EQ(m2.engine().proc(0).stats().total().counts.sharedMissRemote,
+              1u);
+}
+
+TEST(SmProtocol, ValuesFlowBetweenProcessors)
+{
+    SmMachine m(smallCfg(4));
+    Addr arr = 0;
+    std::vector<double> got(4, 0);
+    m.run([&](SmMachine::Node& n) {
+        if (n.id == 0) {
+            arr = n.gmalloc(4 * 64, 64);
+            for (int i = 0; i < 4; ++i)
+                n.wr<double>(arr + i * 64, i * 11.0 + 1);
+        }
+        n.barrier();
+        got[n.id] = n.rd<double>(arr + n.id * 64);
+    });
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(got[i], i * 11.0 + 1);
+}
+
+TEST(SmProtocol, WriteInvalidatesReaders)
+{
+    SmMachine m(smallCfg(3));
+    Addr a = 0;
+    double second_read = 0;
+    m.run([&](SmMachine::Node& n) {
+        if (n.id == 0) {
+            a = n.gmallocLocal(64);
+            n.wr<double>(a, 1.0);
+        }
+        n.barrier();
+        n.rd<double>(a); // everyone caches it
+        n.barrier();
+        if (n.id == 2)
+            n.wr<double>(a, 2.0); // invalidates 0 and 1
+        n.barrier();
+        if (n.id == 1)
+            second_read = n.rd<double>(a);
+    });
+    EXPECT_EQ(second_read, 2.0);
+    // Node 0 is the home: it issued invalidations for node 2's write
+    // fault/miss (to nodes 0 and 1).
+    auto c0 = m.engine().proc(0).stats().total().counts;
+    EXPECT_GE(c0.invalsSent, 2u);
+    // Node 1's re-read was a remote miss (its copy was invalidated).
+    auto c1 = m.engine().proc(1).stats().total().counts;
+    EXPECT_GE(c1.sharedMissRemote, 2u);
+}
+
+TEST(SmProtocol, WriteFaultOnReadOnlyCopy)
+{
+    SmMachine m(smallCfg(2));
+    Addr a = 0;
+    m.run([&](SmMachine::Node& n) {
+        if (n.id == 0)
+            a = n.gmallocLocal(64);
+        n.barrier();
+        if (n.id == 1) {
+            n.rd<double>(a);    // obtain a read-only copy
+            n.wr<double>(a, 5); // upgrade: write fault
+        }
+    });
+    auto c1 = m.engine().proc(1).stats().total().counts;
+    EXPECT_EQ(c1.writeFaults, 1u);
+    EXPECT_GT(catCycles(m.engine(), 1, stats::Category::WriteFault), 0u);
+}
+
+TEST(SmProtocol, ProducerConsumerFourMessages)
+{
+    // The EM3D pathology (Section 5.3.3): a producer updating a value
+    // a consumer caches costs an invalidation round plus a re-fetch.
+    SmMachine m(smallCfg(2));
+    Addr a = 0;
+    m.run([&](SmMachine::Node& n) {
+        if (n.id == 0) {
+            a = n.gmallocLocal(64);
+            n.wr<double>(a, 0.0);
+        }
+        n.barrier();
+        for (int it = 1; it <= 10; ++it) {
+            if (n.id == 0)
+                n.wr<double>(a, it); // invalidate consumer, refetch
+            n.barrier();
+            if (n.id == 1)
+                ASSERT_EQ(n.rd<double>(a), it);
+            n.barrier();
+        }
+    });
+    auto c1 = m.engine().proc(1).stats().total().counts;
+    // Every iteration after the first misses again.
+    EXPECT_GE(c1.sharedMissRemote, 9u);
+    auto c0 = m.engine().proc(0).stats().total().counts;
+    EXPECT_GE(c0.invalsSent + c0.writeFaults, 9u);
+}
+
+TEST(SmProtocol, DirtyEvictionWritesBack)
+{
+    core::MachineConfig cfg = smallCfg(1);
+    cfg.cache.bytes = 1024; // tiny cache: 32 blocks
+    cfg.cache.assoc = 2;
+    SmMachine m(cfg);
+    m.run([&](SmMachine::Node& n) {
+        Addr a = n.gmalloc(64 * 1024, 32);
+        for (int i = 0; i < 256; ++i)
+            n.wr<double>(a + i * 32, i); // write-allocate, all dirty
+        for (int i = 0; i < 256; ++i)
+            ASSERT_EQ(n.rd<double>(a + i * 32), i);
+    });
+    auto c = m.engine().proc(0).stats().total().counts;
+    EXPECT_GT(c.writeBacks, 100u);
+}
+
+TEST(SmProtocol, AtomicSwapIsAtomicUnderContention)
+{
+    SmMachine m(smallCfg(8));
+    Addr a = 0;
+    std::vector<std::uint64_t> seen;
+    m.run([&](SmMachine::Node& n) {
+        if (n.id == 0) {
+            a = n.gmallocLocal(64);
+            n.mem.poke<std::uint64_t>(a, 0);
+        }
+        n.barrier();
+        // Everyone swaps in (id+1); the sequence of returned values
+        // must form a permutation chain: each value appears exactly
+        // once as an old value.
+        std::uint64_t old = n.mem.swap(a, n.id + 1);
+        seen.push_back(old);
+    });
+    std::uint64_t final = m.node(0).mem.peek<std::uint64_t>(a);
+    seen.push_back(final);
+    std::sort(seen.begin(), seen.end());
+    // {0, and each of 1..8 exactly once}.
+    ASSERT_EQ(seen.size(), 9u);
+    for (std::uint64_t i = 0; i < 9; ++i)
+        EXPECT_EQ(seen[i], i);
+}
+
+TEST(SmProtocol, CompareAndSwapOnlyOneWinner)
+{
+    SmMachine m(smallCfg(8));
+    Addr a = 0;
+    std::atomic<int> winners{0};
+    m.run([&](SmMachine::Node& n) {
+        if (n.id == 0) {
+            a = n.gmallocLocal(64);
+            n.mem.poke<std::uint64_t>(a, 7);
+        }
+        n.barrier();
+        if (n.mem.cas(a, 7, 100 + n.id) == 7)
+            winners++;
+    });
+    EXPECT_EQ(winners.load(), 1);
+}
+
+TEST(SmProtocol, DirectoryContentionQueuesRequests)
+{
+    // 16 processors reading 16 distinct blocks all homed on node 0:
+    // the directory serializes service, so later fills wait.
+    SmMachine m(smallCfg(16));
+    Addr a = 0;
+    m.run([&](SmMachine::Node& n) {
+        if (n.id == 0)
+            a = n.gmallocLocal(16 * 32, 32);
+        n.barrier();
+        n.rd<double>(a + n.id * 32);
+    });
+    EXPECT_GT(m.protocol().queueDelay(), 0u);
+}
+
+TEST(SmProtocol, RoundRobinVsLocalHomes)
+{
+    // Under round-robin homing, a node touching its "own" array still
+    // takes mostly remote misses; under local homing they are local.
+    auto misses = [](mem::AllocPolicy pol) {
+        SmMachine m(smallCfg(4, pol));
+        m.run([&](SmMachine::Node& n) {
+            Addr a = pol == mem::AllocPolicy::Local
+                         ? n.gmalloc(32 * kPageBytes / 4)
+                         : 0;
+            if (pol == mem::AllocPolicy::RoundRobin) {
+                a = n.id == 0 ? n.gmalloc(32 * kPageBytes) : 0;
+            }
+            n.barrier();
+            return;
+        });
+        return m;
+    };
+    // Direct comparison done in the EM3D ablation; here we check the
+    // allocator wiring via homeOf.
+    SmMachine rr(smallCfg(4, mem::AllocPolicy::RoundRobin));
+    Addr base = 0;
+    std::array<int, 4> remote{};
+    rr.run([&](SmMachine::Node& n) {
+        if (n.id == 0)
+            base = n.gmalloc(8 * kPageBytes, kPageBytes);
+        n.barrier();
+        for (int p = 0; p < 8; ++p) {
+            if (rr.shalloc().homeOf(base + p * kPageBytes) != n.id)
+                remote[n.id]++;
+        }
+    });
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(remote[i], 6); // 2 of 8 pages home on each node
+    (void)misses;
+}
+
+TEST(SmProtocol, SequentialConsistencySmoke)
+{
+    // Dekker-style: both flags end up visible; with SC (blocking
+    // misses) at least one processor must see the other's flag.
+    SmMachine m(smallCfg(2));
+    Addr flags = 0;
+    std::array<std::uint64_t, 2> saw{9, 9};
+    m.run([&](SmMachine::Node& n) {
+        if (n.id == 0) {
+            flags = n.gmalloc(2 * 64, 64);
+            n.mem.poke<std::uint64_t>(flags, 0);
+            n.mem.poke<std::uint64_t>(flags + 64, 0);
+        }
+        n.barrier();
+        n.wr<std::uint64_t>(flags + n.id * 64, 1);
+        saw[n.id] = n.rd<std::uint64_t>(flags + (1 - n.id) * 64);
+    });
+    EXPECT_TRUE(saw[0] == 1 || saw[1] == 1);
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for shared-memory synchronization: MCS locks (mutual
+ * exclusion, queueing, attribution) and MCS-style tree reductions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sm/sm_machine.hh"
+
+using namespace wwt;
+using namespace wwt::sm;
+
+namespace
+{
+
+core::MachineConfig
+smallCfg(std::size_t nprocs)
+{
+    core::MachineConfig cfg;
+    cfg.nprocs = nprocs;
+    cfg.allocPolicy = mem::AllocPolicy::Local;
+    return cfg;
+}
+
+} // namespace
+
+TEST(McsLock, MutualExclusionCounter)
+{
+    SmMachine m(smallCfg(8));
+    std::size_t lock = m.createLock();
+    Addr counter = 0;
+    constexpr int kIters = 25;
+    m.run([&](SmMachine::Node& n) {
+        if (n.id == 0) {
+            counter = n.gmallocLocal(64);
+            n.mem.poke<std::uint64_t>(counter, 0);
+        }
+        n.barrier();
+        for (int i = 0; i < kIters; ++i) {
+            n.lockAcquire(lock);
+            // Non-atomic read-modify-write, safe only under the lock.
+            std::uint64_t v = n.rd<std::uint64_t>(counter);
+            n.charge(5);
+            n.wr<std::uint64_t>(counter, v + 1);
+            n.lockRelease(lock);
+        }
+    });
+    EXPECT_EQ(m.node(0).mem.peek<std::uint64_t>(counter),
+              8u * kIters);
+}
+
+TEST(McsLock, UncontendedIsCheap)
+{
+    SmMachine m(smallCfg(2));
+    std::size_t lock = m.createLock();
+    Cycle locked_cycles = 0;
+    m.run([&](SmMachine::Node& n) {
+        if (n.id == 0) {
+            Cycle t0 = n.proc.now();
+            n.lockAcquire(lock);
+            n.lockRelease(lock);
+            locked_cycles = n.proc.now() - t0;
+        }
+    });
+    // A handful of protocol transactions, not a spin storm.
+    EXPECT_LT(locked_cycles, 2000u);
+    EXPECT_GT(locked_cycles, 10u);
+}
+
+TEST(McsLock, TimeIsLumpedIntoLockCategory)
+{
+    SmMachine m(smallCfg(4));
+    std::size_t lock = m.createLock();
+    m.run([&](SmMachine::Node& n) {
+        n.barrier();
+        for (int i = 0; i < 5; ++i) {
+            n.lockAcquire(lock);
+            n.charge(100); // critical section: *not* lock time
+            n.lockRelease(lock);
+        }
+    });
+    for (NodeId i = 0; i < 4; ++i) {
+        auto tot = m.engine().proc(i).stats().total();
+        auto get = [&](stats::Category c) {
+            return tot.cycles[static_cast<std::size_t>(c)];
+        };
+        EXPECT_GT(get(stats::Category::Lock), 0u) << i;
+        EXPECT_EQ(get(stats::Category::Computation), 500u) << i;
+        EXPECT_EQ(get(stats::Category::SharedMiss), 0u) << i;
+        EXPECT_EQ(tot.counts.lockAcquires, 5u) << i;
+    }
+}
+
+TEST(McsLock, ManyLocksIndependent)
+{
+    SmMachine m(smallCfg(4));
+    std::vector<std::size_t> locks;
+    for (int i = 0; i < 4; ++i)
+        locks.push_back(m.createLock());
+    Addr counters = 0;
+    m.run([&](SmMachine::Node& n) {
+        if (n.id == 0) {
+            counters = n.gmalloc(4 * 64, 64);
+            for (int i = 0; i < 4; ++i)
+                n.mem.poke<std::uint64_t>(counters + i * 64, 0);
+        }
+        n.barrier();
+        for (int round = 0; round < 10; ++round) {
+            int t = (n.id + round) % 4;
+            n.lockAcquire(locks[t]);
+            Addr c = counters + t * 64;
+            n.wr<std::uint64_t>(c, n.rd<std::uint64_t>(c) + 1);
+            n.lockRelease(locks[t]);
+        }
+    });
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(m.node(0).mem.peek<std::uint64_t>(counters + i * 64),
+                  10u);
+    }
+}
+
+TEST(SmReducer, SumAndMaxAcrossProcs)
+{
+    SmMachine m(smallCfg(8));
+    std::vector<double> sums(8), maxes(8);
+    m.run([&](SmMachine::Node& n) {
+        n.barrier();
+        sums[n.id] = n.reduce(n.id + 1.0, SmRedOp::Sum,
+                              stats::syncSplitAttribution());
+        maxes[n.id] =
+            n.reduce(n.id == 3 ? 99.0 : 0.0, SmRedOp::Max,
+                     stats::lumpedAttribution(stats::Category::Reduction));
+    });
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(sums[i], 36.0) << i;
+        EXPECT_EQ(maxes[i], 99.0) << i;
+    }
+}
+
+TEST(SmReducer, RepeatedEpochsStaySeparate)
+{
+    SmMachine m(smallCfg(5));
+    m.run([&](SmMachine::Node& n) {
+        n.barrier();
+        for (int round = 1; round <= 15; ++round) {
+            double r = n.reduce(static_cast<double>(round),
+                                SmRedOp::Sum,
+                                stats::syncSplitAttribution());
+            ASSERT_EQ(r, round * 5.0);
+        }
+    });
+}
+
+TEST(SmReducer, AttributionGoesWhereCallerSays)
+{
+    SmMachine m(smallCfg(4));
+    m.run([&](SmMachine::Node& n) {
+        n.barrier();
+        n.reduce(1.0, SmRedOp::Sum,
+                 stats::lumpedAttribution(stats::Category::Reduction));
+        n.reduce(1.0, SmRedOp::Sum, stats::syncSplitAttribution());
+    });
+    for (NodeId i = 0; i < 4; ++i) {
+        auto tot = m.engine().proc(i).stats().total();
+        auto get = [&](stats::Category c) {
+            return tot.cycles[static_cast<std::size_t>(c)];
+        };
+        EXPECT_GT(get(stats::Category::Reduction), 0u) << i;
+        EXPECT_GT(get(stats::Category::SyncComp) +
+                      get(stats::Category::SyncMiss),
+                  0u)
+            << i;
+    }
+}
