@@ -8,7 +8,15 @@
  * scale (32 simulated processors, Tables 1-3 hardware) and prints the
  * corresponding tables. Pass --small to run a scaled-down version
  * (useful for smoke testing); pass --procs N to change the machine
- * size.
+ * size. All flag parsing lives here so every driver accepts the same
+ * flags — including the observability pair:
+ *
+ *   --trace=FILE    write a Chrome trace-event (catapult) JSON file
+ *   --metrics=FILE  write the machine-readable metrics manifest
+ *
+ * Drivers feed each run into the ArtifactWriter returned by
+ * artifacts(): attach() before running, addRun() after collecting the
+ * report, write() once at the end.
  */
 
 #include <cstdio>
@@ -16,6 +24,7 @@
 #include <string>
 
 #include "core/config.hh"
+#include "core/metrics.hh"
 #include "core/report.hh"
 
 namespace wwt::bench
@@ -25,19 +34,50 @@ namespace wwt::bench
 struct Options {
     bool small = false;
     std::size_t procs = 32;
+    std::string traceFile;   ///< --trace=FILE (empty = off)
+    std::string metricsFile; ///< --metrics=FILE (empty = off)
 };
+
+/** Match `--flag=VALUE` or `--flag VALUE`; advances @p i as needed. */
+inline bool
+flagValue(int argc, char** argv, int& i, const char* flag,
+          std::string& out)
+{
+    std::size_t len = std::strlen(flag);
+    if (std::strncmp(argv[i], flag, len) != 0)
+        return false;
+    if (argv[i][len] == '=') {
+        out = argv[i] + len + 1;
+        return true;
+    }
+    if (argv[i][len] == '\0' && i + 1 < argc) {
+        out = argv[++i];
+        return true;
+    }
+    return false;
+}
 
 inline Options
 parseArgs(int argc, char** argv)
 {
     Options o;
     for (int i = 1; i < argc; ++i) {
+        if (flagValue(argc, argv, i, "--trace", o.traceFile) ||
+            flagValue(argc, argv, i, "--metrics", o.metricsFile))
+            continue;
         if (std::strcmp(argv[i], "--small") == 0)
             o.small = true;
         else if (std::strcmp(argv[i], "--procs") == 0 && i + 1 < argc)
             o.procs = static_cast<std::size_t>(std::atol(argv[++i]));
     }
     return o;
+}
+
+/** The artifact collector configured by --trace/--metrics. */
+inline core::ArtifactWriter
+artifacts(const Options& o)
+{
+    return core::ArtifactWriter(o.traceFile, o.metricsFile);
 }
 
 /** The paper's machine (Tables 1-3), sized by the options. */

@@ -33,25 +33,36 @@ main(int argc, char** argv)
         o.procs = std::min<std::size_t>(o.procs, 8);
     }
 
+    core::ArtifactWriter art = artifacts(o);
+
     banner("Sensitivity to the contention-free network assumption");
     std::printf("%10s %16s %16s %16s\n", "link gap", "EM3D-MP (M)",
                 "Gauss-MP (M)", "EM3D-SM (M)");
     for (Cycle gap : {0, 30, 100}) {
         core::MachineConfig cfg = paperConfig(o);
         cfg.netGap = gap;
+        std::string suffix = "-gap" + std::to_string(gap);
 
         mp::MpMachine m1(cfg);
+        art.attach(m1.engine());
         apps::runEm3dMp(m1, ep);
-        double em3d_mp = core::collectReport(m1.engine()).totalCycles();
+        auto r1 = core::collectReport(m1.engine());
+        art.addRun("em3d-mp" + suffix, cfg, m1.engine(), r1);
+        double em3d_mp = r1.totalCycles();
 
         mp::MpMachine m2(cfg);
+        art.attach(m2.engine());
         apps::runGaussMp(m2, gp);
-        double gauss_mp =
-            core::collectReport(m2.engine()).totalCycles();
+        auto r2 = core::collectReport(m2.engine());
+        art.addRun("gauss-mp" + suffix, cfg, m2.engine(), r2);
+        double gauss_mp = r2.totalCycles();
 
         sm::SmMachine m3(cfg);
+        art.attach(m3.engine());
         apps::runEm3dSm(m3, ep);
-        double em3d_sm = core::collectReport(m3.engine()).totalCycles();
+        auto r3 = core::collectReport(m3.engine());
+        art.addRun("em3d-sm" + suffix, cfg, m3.engine(), r3);
+        double em3d_sm = r3.totalCycles();
 
         std::printf("%10llu %16.1f %16.1f %16.1f\n",
                     static_cast<unsigned long long>(gap),
@@ -60,5 +71,6 @@ main(int argc, char** argv)
     note("gap 0 = the paper's assumption; ~30 approximates a CM-5 "
          "link. If the rows barely move, the paper's no-contention "
          "simplification was safe for these programs.");
+    art.write();
     return 0;
 }

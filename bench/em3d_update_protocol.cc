@@ -29,18 +29,23 @@ main(int argc, char** argv)
         o.procs = std::min<std::size_t>(o.procs, 8);
     }
     core::MachineConfig cfg = paperConfig(o);
+    core::ArtifactWriter art = artifacts(o);
 
     banner("EM3D-MP (reference)");
     mp::MpMachine mpm(cfg);
+    art.attach(mpm.engine());
     apps::Em3dResult mr = apps::runEm3dMp(mpm, p);
     auto mp_rep = core::collectReport(mpm.engine(), {"Init", "Main"});
+    art.addRun("em3d-mp", cfg, mpm.engine(), mp_rep);
     std::printf("main loop: %.1fM cycles\n",
                 mp_rep.totalCycles(1) / 1e6);
 
     banner("EM3D-SM, invalidation-based (baseline)");
     sm::SmMachine inv(cfg);
+    art.attach(inv.engine());
     apps::Em3dResult ir = apps::runEm3dSm(inv, p);
     auto inv_rep = core::collectReport(inv.engine(), {"Init", "Main"});
+    art.addRun("em3d-sm-inval", cfg, inv.engine(), inv_rep);
     std::printf("main loop: %.1fM cycles, %.0f shared misses/proc\n",
                 inv_rep.totalCycles(1) / 1e6,
                 inv_rep.perProc(inv_rep.counts(1).sharedMissLocal +
@@ -50,8 +55,10 @@ main(int argc, char** argv)
     apps::Em3dParams pu = p;
     pu.smBulkUpdate = true;
     sm::SmMachine upd(cfg);
+    art.attach(upd.engine());
     apps::Em3dResult ur = apps::runEm3dSm(upd, pu);
     auto upd_rep = core::collectReport(upd.engine(), {"Init", "Main"});
+    art.addRun("em3d-sm-update", cfg, upd.engine(), upd_rep);
     std::printf("main loop: %.1fM cycles, %.0f shared misses/proc\n",
                 upd_rep.totalCycles(1) / 1e6,
                 upd_rep.perProc(upd_rep.counts(1).sharedMissLocal +
@@ -66,14 +73,20 @@ main(int argc, char** argv)
     core::MachineConfig big = cfg;
     big.cache.bytes = 1024 * 1024;
     sm::SmMachine inv2(big);
+    art.attach(inv2.engine());
     apps::runEm3dSm(inv2, p);
     auto inv2_rep = core::collectReport(inv2.engine(), {"Init", "Main"});
+    art.addRun("em3d-sm-inval-1mb", big, inv2.engine(), inv2_rep);
     sm::SmMachine upd2(big);
+    art.attach(upd2.engine());
     apps::runEm3dSm(upd2, pu);
     auto upd2_rep = core::collectReport(upd2.engine(), {"Init", "Main"});
+    art.addRun("em3d-sm-update-1mb", big, upd2.engine(), upd2_rep);
     mp::MpMachine mpm2(big);
+    art.attach(mpm2.engine());
     apps::runEm3dMp(mpm2, p);
     auto mp2_rep = core::collectReport(mpm2.engine(), {"Init", "Main"});
+    art.addRun("em3d-mp-1mb", big, mpm2.engine(), mp2_rep);
 
     std::printf("\nchecksums: MP %.6f, SM-inv %.6f, SM-update %.6f\n",
                 mr.checksum, ir.checksum, ur.checksum);
@@ -95,5 +108,6 @@ main(int argc, char** argv)
          "equivalently with EM3D-MP'. Target shape: with the working "
          "set resident, SM-update collapses the misses and approaches "
          "MP.");
+    art.write();
     return 0;
 }

@@ -24,23 +24,28 @@ main(int argc, char** argv)
     if (o.small)
         p.n = 128;
     core::MachineConfig cfg = paperConfig(o);
+    core::ArtifactWriter art = artifacts(o);
 
     banner("Section 5.2 ablation: Gauss-MP collective implementations");
     struct RowOut {
         const char* name;
+        const char* run_name;
         mp::TreeKind kind;
         double comm = 0;
         double total = 0;
     } rows[] = {
-        {"Flat", mp::TreeKind::Flat, 0, 0},
-        {"Binary tree", mp::TreeKind::Binary, 0, 0},
-        {"Lop-sided tree (LogP)", mp::TreeKind::LopSided, 0, 0},
+        {"Flat", "gauss-mp-flat", mp::TreeKind::Flat, 0, 0},
+        {"Binary tree", "gauss-mp-binary", mp::TreeKind::Binary, 0, 0},
+        {"Lop-sided tree (LogP)", "gauss-mp-lopsided",
+         mp::TreeKind::LopSided, 0, 0},
     };
 
     for (auto& r : rows) {
         mp::MpMachine m(cfg, r.kind);
+        art.attach(m.engine());
         apps::runGaussMp(m, p);
         auto rep = core::collectReport(m.engine(), {"Init", "Solve"});
+        art.addRun(r.run_name, cfg, m.engine(), rep);
         r.comm = rep.cycles(stats::Category::LibComp, 1) +
                  rep.cycles(stats::Category::LibMiss, 1) +
                  rep.cycles(stats::Category::NetAccess, 1);
@@ -60,5 +65,6 @@ main(int argc, char** argv)
                                                  : "Lop-sided",
                     t.depth(), t.children(0).size());
     }
+    art.write();
     return 0;
 }

@@ -40,13 +40,14 @@ int
 main(int argc, char** argv)
 {
     Options o = parseArgs(argc, argv);
-    (void)o;
     core::MachineConfig cfg; // Table 1-3 defaults
     cfg.nprocs = 2;
+    core::ArtifactWriter art = artifacts(o);
 
     banner("Message-passing machine (Table 2)");
     {
         mp::MpMachine m(cfg);
+        art.attach(m.engine());
         Cycle send = 0, miss = 0, hit = 0;
         m.run([&](mp::MpMachine::Node& n) {
             if (n.id == 0) {
@@ -70,11 +71,14 @@ main(int argc, char** argv)
         check("local read hit", hit, 1);
         check("NI packet injection", send,
               cfg.niWriteTagDest + cfg.niSendWords);
+        art.addRun("latency-mp", cfg, m.engine(),
+                   core::collectReport(m.engine()));
     }
 
     banner("Shared-memory machine (Table 3)");
     {
         sm::SmMachine m(cfg);
+        art.attach(m.engine());
         Addr remote = 0, local = 0;
         Cycle lmiss = 0, rmiss = 0, wfault = 0, swap = 0;
         m.run([&](sm::SmMachine::Node& n) {
@@ -110,6 +114,8 @@ main(int argc, char** argv)
               1 + cfg.smSharedMissBase + 2 * cfg.netLatency +
                   cfg.dirBase + cfg.dirMsgSend);
         check("atomic swap on an exclusive block", swap, 1 + 2);
+        art.addRun("latency-sm", cfg, m.engine(),
+                   core::collectReport(m.engine()));
     }
 
     banner("Common hardware (Table 1)");
@@ -145,5 +151,6 @@ main(int argc, char** argv)
     }
 
     std::printf("\n%d mismatches\n", failures);
+    art.write();
     return failures == 0 ? 0 : 1;
 }

@@ -97,6 +97,26 @@ BM_EngineQuantum(benchmark::State& state)
 BENCHMARK(BM_EngineQuantum);
 
 static void
+BM_EngineQuantumTraced(benchmark::State& state)
+{
+    // Same workload with the flight recorder on: the host-time cost
+    // of recording spans (simulated results are identical).
+    for (auto _ : state) {
+        sim::Engine e(4);
+        e.enableTracing();
+        for (NodeId i = 0; i < 4; ++i) {
+            e.setBody(i, [&e, i] {
+                for (int k = 0; k < 1000; ++k)
+                    e.proc(i).charge(30);
+            });
+        }
+        e.run();
+        benchmark::DoNotOptimize(e.elapsed());
+    }
+}
+BENCHMARK(BM_EngineQuantumTraced);
+
+static void
 BM_ProtocolRemoteMiss(benchmark::State& state)
 {
     // Cost of simulating one remote shared-memory read miss

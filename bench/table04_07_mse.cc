@@ -33,18 +33,23 @@ main(int argc, char** argv)
         o.procs = std::min<std::size_t>(o.procs, 8);
     }
     core::MachineConfig cfg = paperConfig(o);
+    core::ArtifactWriter art = artifacts(o);
 
     banner("Tables 4 & 6: MSE Message Passing (MSE-MP)");
     mp::MpMachine mpm(cfg);
+    art.attach(mpm.engine());
     apps::MseResult mr = apps::runMseMp(mpm, p);
     auto mp_rep = core::collectReport(mpm.engine(), {"Init", "Main"});
+    art.addRun("mse-mp", cfg, mpm.engine(), mp_rep);
     std::printf("solution max error vs ones: %.2e\n",
                 mr.maxErrFromOnes);
 
     banner("Tables 5 & 7: MSE Shared Memory (MSE-SM)");
     sm::SmMachine smm(cfg);
+    art.attach(smm.engine());
     apps::MseResult sr = apps::runMseSm(smm, p);
     auto sm_rep = core::collectReport(smm.engine(), {"Init", "Main"});
+    art.addRun("mse-sm", cfg, smm.engine(), sm_rep);
     std::printf("solution max error vs ones: %.2e\n",
                 sr.maxErrFromOnes);
 
@@ -71,5 +76,6 @@ main(int argc, char** argv)
                             .c_str());
     printPair("MSE", mp_rep, sm_rep);
     note("Paper: MP at 98% of SM; computation >= 82% on both.");
+    art.write();
     return 0;
 }

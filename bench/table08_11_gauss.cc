@@ -30,17 +30,22 @@ main(int argc, char** argv)
         o.procs = std::min<std::size_t>(o.procs, 8);
     }
     core::MachineConfig cfg = paperConfig(o);
+    core::ArtifactWriter art = artifacts(o);
 
     banner("Tables 8 & 10: Gauss Message Passing (Gauss-MP)");
     mp::MpMachine mpm(cfg);
+    art.attach(mpm.engine());
     apps::GaussResult gr = apps::runGaussMp(mpm, p);
     auto mp_rep = core::collectReport(mpm.engine(), {"Init", "Solve"});
+    art.addRun("gauss-mp", cfg, mpm.engine(), mp_rep);
     std::printf("solution max error: %.2e\n", gr.maxErr);
 
     banner("Tables 9 & 11: Gauss Shared Memory (Gauss-SM)");
     sm::SmMachine smm(cfg);
+    art.attach(smm.engine());
     apps::GaussResult sr = apps::runGaussSm(smm, p);
     auto sm_rep = core::collectReport(smm.engine(), {"Init", "Solve"});
+    art.addRun("gauss-sm", cfg, smm.engine(), sm_rep);
     std::printf("solution max error: %.2e\n", sr.maxErr);
 
     // The paper's tables cover the solve; report the solve phase.
@@ -72,5 +77,6 @@ main(int argc, char** argv)
          "SM pays ~23% in contended shared misses.");
     std::printf("SM directory queueing delay: %.1fK cycles total\n",
                 smm.protocol().queueDelay() / 1e3);
+    art.write();
     return 0;
 }

@@ -33,19 +33,24 @@ main(int argc, char** argv)
         o.procs = std::min<std::size_t>(o.procs, 8);
     }
     core::MachineConfig cfg = paperConfig(o);
+    core::ArtifactWriter art = artifacts(o);
 
     banner("Tables 12 & 13: EM3D Message Passing (EM3D-MP)");
     mp::MpMachine mpm(cfg);
+    art.attach(mpm.engine());
     apps::Em3dResult mr = apps::runEm3dMp(mpm, p);
     auto mp_rep = core::collectReport(mpm.engine(),
                                       {"Initialization", "Main Loop"});
+    art.addRun("em3d-mp", cfg, mpm.engine(), mp_rep);
     std::printf("checksum: %.6f\n", mr.checksum);
 
     banner("Tables 14 & 15: EM3D Shared Memory (EM3D-SM)");
     sm::SmMachine smm(cfg);
+    art.attach(smm.engine());
     apps::Em3dResult sr = apps::runEm3dSm(smm, p);
     auto sm_rep = core::collectReport(smm.engine(),
                                       {"Initialization", "Main Loop"});
+    art.addRun("em3d-sm", cfg, smm.engine(), sm_rep);
     std::printf("checksum: %.6f (MP/SM difference %.2e)\n",
                 sr.checksum, std::abs(sr.checksum - mr.checksum));
 
@@ -70,5 +75,6 @@ main(int argc, char** argv)
     printPair("EM3D", mp_rep, sm_rep);
     note("Paper: EM3D-MP at 50% of EM3D-SM (the one decisive win for "
          "message passing).");
+    art.write();
     return 0;
 }

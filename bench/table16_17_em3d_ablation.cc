@@ -21,12 +21,15 @@ namespace
 
 void
 runVariant(const char* title, const core::MachineConfig& cfg,
-           const apps::Em3dParams& p)
+           const apps::Em3dParams& p, core::ArtifactWriter& art,
+           const char* run_name)
 {
     sm::SmMachine m(cfg);
+    art.attach(m.engine());
     apps::runEm3dSm(m, p);
     auto rep = core::collectReport(m.engine(),
                                    {"Initialization", "Main Loop"});
+    art.addRun(run_name, cfg, m.engine(), rep);
     std::printf("%s\n",
                 core::phaseBreakdownTable(title, rep,
                                           core::smRowsDataAccess())
@@ -56,17 +59,22 @@ main(int argc, char** argv)
     }
 
     core::MachineConfig base = paperConfig(o);
-    runVariant("EM3D-SM baseline (256 KB cache, round-robin)", base, p);
+    core::ArtifactWriter art = artifacts(o);
+    runVariant("EM3D-SM baseline (256 KB cache, round-robin)", base, p,
+               art, "em3d-sm-baseline");
 
     core::MachineConfig big = base;
     big.cache.bytes = 1024 * 1024;
-    runVariant("Table 16: EM3D-SM with a 1 MB cache", big, p);
+    runVariant("Table 16: EM3D-SM with a 1 MB cache", big, p, art,
+               "em3d-sm-1mb-cache");
 
     core::MachineConfig local = base;
     local.allocPolicy = mem::AllocPolicy::Local;
-    runVariant("Table 17: EM3D-SM with local allocation", local, p);
+    runVariant("Table 17: EM3D-SM with local allocation", local, p,
+               art, "em3d-sm-local-alloc");
 
     note("Paper: main loop 130.0M baseline; 61.0M with 1 MB cache; "
          "86.3M with local allocation (remote misses 97% -> 10%).");
+    art.write();
     return 0;
 }

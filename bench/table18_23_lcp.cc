@@ -34,6 +34,7 @@ main(int argc, char** argv)
         o.procs = std::min<std::size_t>(o.procs, 8);
     }
     core::MachineConfig cfg = paperConfig(o);
+    core::ArtifactWriter art = artifacts(o);
 
     struct Run {
         const char* name;
@@ -55,9 +56,12 @@ main(int argc, char** argv)
                std::to_string(runs[v].mp_table) + " & 22: " +
                runs[v].name + " Message Passing");
         mp::MpMachine mpm(cfg);
+        art.attach(mpm.engine());
         apps::LcpResult mr = apps::runLcpMp(mpm, pv);
         reps[v][0] = core::collectReport(mpm.engine(),
                                          {"Init", "Solve"});
+        art.addRun(runs[v].async ? "alcp-mp" : "lcp-mp", cfg,
+                   mpm.engine(), reps[v][0]);
         steps[v][0] = mr.steps;
         std::printf("steps %zu, complementarity residual %.2e\n",
                     mr.steps, mr.complementarity);
@@ -66,9 +70,12 @@ main(int argc, char** argv)
                std::to_string(runs[v].sm_table) + " & 23: " +
                runs[v].name + " Shared Memory");
         sm::SmMachine smm(cfg);
+        art.attach(smm.engine());
         apps::LcpResult sr = apps::runLcpSm(smm, pv);
         reps[v][1] = core::collectReport(smm.engine(),
                                          {"Init", "Solve"});
+        art.addRun(runs[v].async ? "alcp-sm" : "lcp-sm", cfg,
+                   smm.engine(), reps[v][1]);
         steps[v][1] = sr.steps;
         std::printf("steps %zu, complementarity residual %.2e\n",
                     sr.steps, sr.complementarity);
@@ -114,5 +121,6 @@ main(int argc, char** argv)
     printPair("ALCP async", reps[1][0], reps[1][1]);
     note("Paper: sync MP at 86% of SM; async variants take fewer "
          "steps, move ~4x the data, and run slower overall.");
+    art.write();
     return 0;
 }

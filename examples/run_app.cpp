@@ -7,10 +7,12 @@
  *   run_app --app mse|gauss|em3d|lcp|alcp --machine mp|sm
  *           [--procs N] [--size N] [--iters N] [--local-alloc]
  *           [--cache-kb N] [--net-gap N] [--tree flat|binary|lop]
+ *           [--trace FILE] [--metrics FILE]
  *
  * Examples:
  *   run_app --app em3d --machine sm --procs 16 --cache-kb 1024
  *   run_app --app gauss --machine mp --tree binary
+ *   run_app --app em3d --trace em3d.json --metrics em3d-metrics.json
  */
 
 #include <cstdio>
@@ -21,6 +23,7 @@
 #include "apps/gauss.hh"
 #include "apps/lcp.hh"
 #include "apps/mse.hh"
+#include "core/metrics.hh"
 #include "core/report.hh"
 
 using namespace wwt;
@@ -38,6 +41,8 @@ struct Cli {
     std::size_t cacheKb = 256;
     Cycle netGap = 0;
     std::string tree = "lop";
+    std::string traceFile;
+    std::string metricsFile;
 };
 
 bool
@@ -91,6 +96,20 @@ parse(int argc, char** argv, Cli& c)
             if (!v)
                 return false;
             c.tree = v;
+        } else if (!std::strcmp(argv[i], "--trace")) {
+            const char* v = next("--trace");
+            if (!v)
+                return false;
+            c.traceFile = v;
+        } else if (!std::strncmp(argv[i], "--trace=", 8)) {
+            c.traceFile = argv[i] + 8;
+        } else if (!std::strcmp(argv[i], "--metrics")) {
+            const char* v = next("--metrics");
+            if (!v)
+                return false;
+            c.metricsFile = v;
+        } else if (!std::strncmp(argv[i], "--metrics=", 10)) {
+            c.metricsFile = argv[i] + 10;
         } else if (!std::strcmp(argv[i], "--local-alloc")) {
             c.localAlloc = true;
         } else {
@@ -127,6 +146,9 @@ main(int argc, char** argv)
         mpm = std::make_unique<mp::MpMachine>(cfg, tk);
     else
         smm = std::make_unique<sm::SmMachine>(cfg);
+
+    core::ArtifactWriter art(c.traceFile, c.metricsFile);
+    art.attach(is_mp ? mpm->engine() : smm->engine());
 
     std::vector<std::string> phases{"Init", "Main"};
     if (c.app == "mse") {
@@ -191,5 +213,12 @@ main(int argc, char** argv)
                        : core::smCountsTable("Per-processor counts",
                                              rep))
                     .c_str());
-    return 0;
+    if (e.tracer()) {
+        std::string hist =
+            core::histogramTable("Latency histograms", rep);
+        if (!hist.empty())
+            std::printf("%s\n", hist.c_str());
+    }
+    art.addRun(c.app + "-" + c.machine, cfg, e, rep);
+    return art.write() ? 0 : 1;
 }

@@ -47,6 +47,14 @@ collectReport(sim::Engine& engine, std::vector<std::string> phase_names)
     MachineReport rep;
     rep.nprocs = engine.numProcs();
     rep.elapsed = engine.elapsed();
+    rep.eventsExecuted = engine.eventsExecuted();
+    if (const trace::Tracer* tr = engine.tracer()) {
+        for (std::size_t k = 0; k < trace::kNumLatencyKinds; ++k) {
+            auto kind = static_cast<trace::LatencyKind>(k);
+            rep.histograms.push_back(
+                {trace::latencyKindName(kind), tr->histogram(kind)});
+        }
+    }
 
     std::size_t nphases = 1;
     for (NodeId i = 0; i < rep.nprocs; ++i)
@@ -290,6 +298,25 @@ smCountsTable(const std::string& title, const MachineReport& rep,
               fmtCnt(rep.perProc(c.bytesCtrl))});
     t.addRow({"Computation Cycles Per Data Byte",
               data > 0 ? fmtCnt(comp / data) : "-"});
+    return t.str();
+}
+
+std::string
+histogramTable(const std::string& title, const MachineReport& rep)
+{
+    if (rep.histograms.empty())
+        return "";
+    stats::Table t(title);
+    t.setHeader({"Latency (cycles)", "Count", "Min", "p50", "p90",
+                 "Mean", "Max"});
+    for (const auto& h : rep.histograms) {
+        t.addRow({h.name, stats::fmtCount(h.hist.count()),
+                  stats::fmtCount(h.hist.min()),
+                  stats::fmtCount(h.hist.quantile(0.5)),
+                  stats::fmtCount(h.hist.quantile(0.9)),
+                  fmtCnt(h.hist.mean()),
+                  stats::fmtCount(h.hist.max())});
+    }
     return t.str();
 }
 

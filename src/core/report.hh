@@ -20,9 +20,17 @@
 #include "sim/engine.hh"
 #include "stats/category.hh"
 #include "stats/counts.hh"
+#include "trace/histogram.hh"
+#include "trace/tracer.hh"
 
 namespace wwt::core
 {
+
+/** One named latency distribution gathered from the flight recorder. */
+struct HistogramReport {
+    std::string name; ///< snake-case latencyKindName
+    trace::LogHistogram hist;
+};
 
 /** Averaged (over processors) statistics for one run. */
 struct MachineReport {
@@ -33,6 +41,9 @@ struct MachineReport {
     /** Per-phase event counts, averaged over processors. */
     std::vector<stats::Counts> phaseCounts; ///< sums; divide by nprocs
     Cycle elapsed = 0;
+    std::uint64_t eventsExecuted = 0;
+    /** Latency histograms; empty unless the engine was tracing. */
+    std::vector<HistogramReport> histograms;
 
     /** Average cycles in @p cat for phase @p phase (-1 = all). */
     double cycles(stats::Category cat, int phase = -1) const;
@@ -98,5 +109,12 @@ std::string mpCountsTable(const std::string& title,
 /** Event-count table for a shared-memory run (Tables 7, 11, 15). */
 std::string smCountsTable(const std::string& title,
                           const MachineReport& rep, int phase = -1);
+
+/**
+ * Latency-distribution table (count / min / p50 / p90 / mean / max per
+ * histogram). Empty string when the report carries no histograms.
+ */
+std::string histogramTable(const std::string& title,
+                           const MachineReport& rep);
 
 } // namespace wwt::core

@@ -85,6 +85,7 @@ ChannelMgr::write(NodeId dest, std::uint32_t chan, Addr src,
     assert(nbytes % 4 == 0 && "channel payloads are word-granular");
     assert(chan <= 0xffff && "channel id must fit the packet header");
     sim::AttrScope lib(p_, stats::libAttribution());
+    Cycle op_t0 = p_.now();
     writesIssued_++;
     p_.stats().counts().channelWrites++;
     p_.advance(sim::CostKind::Comp, 10); // channel setup per operation
@@ -104,6 +105,8 @@ ChannelMgr::write(NodeId dest, std::uint32_t chan, Addr src,
                       static_cast<unsigned>(take));
         off += take;
     }
+    if (trace::Tracer* tr = p_.tracer())
+        tr->op(p_.id(), trace::OpKind::ChannelWrite, op_t0, p_.now());
 }
 
 void

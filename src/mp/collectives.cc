@@ -8,6 +8,30 @@
 namespace wwt::mp
 {
 
+namespace
+{
+
+/** RAII guard recording a collective as an op span when tracing. */
+struct OpTrace {
+    OpTrace(sim::Processor& p, trace::OpKind k)
+        : p_(p), kind_(k), t0_(p.now())
+    {
+    }
+    ~OpTrace()
+    {
+        if (trace::Tracer* tr = p_.tracer())
+            tr->op(p_.id(), kind_, t0_, p_.now());
+    }
+    OpTrace(const OpTrace&) = delete;
+    OpTrace& operator=(const OpTrace&) = delete;
+
+    sim::Processor& p_;
+    trace::OpKind kind_;
+    Cycle t0_;
+};
+
+} // namespace
+
 // --------------------------------------------------------------------
 // CommTree
 // --------------------------------------------------------------------
@@ -169,6 +193,7 @@ std::pair<double, std::uint32_t>
 Collectives::allReduceMaxLoc(double v, std::uint32_t loc)
 {
     sim::AttrScope lib(p_, stats::libAttribution());
+    OpTrace ot(p_, trace::OpKind::AllReduce);
     RedOp op = RedOp::MaxLoc;
     std::uint32_t e = ++redEpoch_;
     std::size_t me = p_.id(); // reductions always root at node 0
@@ -215,6 +240,7 @@ Collectives::allReduce(double v, RedOp op)
         throw std::invalid_argument("use allReduceMaxLoc");
     // Reuse the MaxLoc machinery by dispatching on the op tag.
     sim::AttrScope lib(p_, stats::libAttribution());
+    OpTrace ot(p_, trace::OpKind::AllReduce);
     std::uint32_t e = ++redEpoch_;
     std::size_t me = p_.id();
     std::size_t nkids = tree_.children(me).size();
@@ -268,6 +294,7 @@ double
 Collectives::broadcastValue(double v, NodeId root)
 {
     sim::AttrScope lib(p_, stats::libAttribution());
+    OpTrace ot(p_, trace::OpKind::BroadcastValue);
     std::uint32_t e = ++bvalEpoch_;
     std::size_t me_v = tree_.toVirtual(p_.id(), root);
 
@@ -366,6 +393,7 @@ Collectives::broadcastInPlace(Addr src, std::size_t nbytes, NodeId root)
     assert(nprocs_ <= 128 && "root must fit the bulk packet header");
 
     sim::AttrScope lib(p_, stats::libAttribution());
+    OpTrace ot(p_, trace::OpKind::Broadcast);
     std::uint32_t e8 = static_cast<std::uint32_t>(bcastEpoch_++ & 0xff);
     std::size_t me_v = bulkTree_.toVirtual(p_.id(), root);
 

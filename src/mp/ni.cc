@@ -28,6 +28,14 @@ NetIface::send(NodeId dest, std::uint32_t tag,
     pkt.words = words;
     pkt.arrival = p_.now() + net_.latency(p_.id(), dest);
 
+    if (trace::Tracer* tr = p_.tracer()) {
+        pkt.traceId = tr->newFlowId();
+        tr->flowBegin(p_.id(), trace::FlowKind::Packet, pkt.traceId,
+                      p_.now());
+        tr->latency(trace::LatencyKind::MsgDelivery,
+                    pkt.arrival - p_.now());
+    }
+
     NetIface* dst = (*peers_)[dest];
     net_.deliver(p_.now(), p_.id(), dest, [dst, pkt] {
         dst->enqueue(pkt);
@@ -76,6 +84,12 @@ NetIface::receive()
     p_.advance(sim::CostKind::Net, cfg_.niRecvWords);
     Packet pkt = inq_.front();
     inq_.pop_front();
+    if (pkt.traceId != 0) {
+        if (trace::Tracer* tr = p_.tracer()) {
+            tr->flowEnd(p_.id(), trace::FlowKind::Packet, pkt.traceId,
+                        p_.now());
+        }
+    }
     return pkt;
 }
 

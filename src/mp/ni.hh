@@ -30,6 +30,7 @@ struct Packet {
     std::uint32_t tag = 0;
     std::array<std::uint32_t, core::kMpPacketWords> words{};
     Cycle arrival = 0;
+    std::uint64_t traceId = 0; ///< flow id when tracing (0 = off)
 };
 
 /** The per-node memory-mapped network interface. */

@@ -29,6 +29,11 @@ HwBarrier::wait(sim::Processor& p)
         group.swap(waiting_);
         lastArrival_ = 0;
         ++episodes_;
+        if (trace::Tracer* tr = engine_.tracer()) {
+            tr->instant(tr->engineTrack(),
+                        trace::InstantKind::BarrierRelease, release,
+                        static_cast<std::uint32_t>(episodes_));
+        }
         engine_.schedule(release, [group = std::move(group), release] {
             for (sim::Processor* w : group)
                 w->resume(release);

@@ -27,6 +27,19 @@ Engine::schedule(Cycle t, EventQueue::Callback cb)
     events_.schedule(t, std::move(cb));
 }
 
+trace::Tracer&
+Engine::enableTracing(std::size_t cap_per_track)
+{
+    if (!tracer_) {
+        tracer_ = std::make_unique<trace::Tracer>(
+            procs_.size(), cap_per_track ? cap_per_track
+                                         : trace::Tracer::kDefaultCapacity);
+        for (auto& p : procs_)
+            p->setTracer(tracer_.get());
+    }
+    return *tracer_;
+}
+
 void
 Engine::setBody(NodeId id, Processor::Body body)
 {
@@ -60,6 +73,12 @@ Engine::run()
     while (!allFinished()) {
         Cycle qend = quantumStart_ + quantum_;
         std::size_t nev = events_.runUntil(qend);
+        if (tracer_ && nev != 0) {
+            tracer_->instant(tracer_->engineTrack(),
+                             trace::InstantKind::QuantumEvents,
+                             quantumStart_,
+                             static_cast<std::uint32_t>(nev));
+        }
 
         bool ran = false;
         for (auto& p : procs_) {
@@ -85,11 +104,27 @@ Engine::run()
             std::ostringstream msg;
             msg << "simulation deadlock at cycle " << quantumStart_
                 << "; blocked processors:";
+            bool any = false;
             for (const auto& p : procs_) {
-                if (p->blocked())
-                    msg << " " << p->id();
+                if (!p->blocked())
+                    continue;
+                msg << (any ? "," : "") << " proc " << p->id() << " @ "
+                    << p->now() << " ("
+                    << (p->blockCause() ? p->blockCause() : "unknown")
+                    << ")";
+                any = true;
             }
+            if (!any)
+                msg << " none (idle processors never resumed)";
             throw std::runtime_error(msg.str());
+        }
+        if (tracer_) {
+            Cycle skip = next - quantumStart_;
+            tracer_->instant(
+                tracer_->engineTrack(), trace::InstantKind::IdleSkip,
+                quantumStart_,
+                static_cast<std::uint32_t>(
+                    std::min<Cycle>(skip, 0xffffffffu)));
         }
         quantumStart_ = (next / quantum_) * quantum_;
     }

@@ -21,6 +21,7 @@
 #include "sim/event_queue.hh"
 #include "sim/processor.hh"
 #include "sim/types.hh"
+#include "trace/tracer.hh"
 
 namespace wwt::sim
 {
@@ -62,6 +63,18 @@ class Engine
     /** Number of events executed so far (diagnostics). */
     std::uint64_t eventsExecuted() const { return events_.executed(); }
 
+    /**
+     * Attach a flight recorder to the engine and every processor.
+     * Tracing is off by default; a disabled tracer costs one branch
+     * per hook and recording never perturbs simulated cycle counts.
+     * @param cap_per_track ring capacity per track (0 = default).
+     * @return the tracer, for direct recording from harness code.
+     */
+    trace::Tracer& enableTracing(std::size_t cap_per_track = 0);
+
+    /** The attached flight recorder, or nullptr if tracing is off. */
+    trace::Tracer* tracer() const { return tracer_.get(); }
+
   private:
     bool allFinished() const;
 
@@ -69,6 +82,7 @@ class Engine
     Cycle quantumStart_ = 0;
     EventQueue events_;
     std::vector<std::unique_ptr<Processor>> procs_;
+    std::unique_ptr<trace::Tracer> tracer_;
 };
 
 } // namespace wwt::sim

@@ -8,6 +8,43 @@
 namespace wwt::sim
 {
 
+const char*
+costKindName(CostKind k)
+{
+    switch (k) {
+      case CostKind::Comp: return "computation";
+      case CostKind::PrivMiss: return "private-miss";
+      case CostKind::SharedMiss: return "shared-miss";
+      case CostKind::WriteFault: return "write-fault";
+      case CostKind::Tlb: return "tlb-refill";
+      case CostKind::Net: return "network-interface";
+      case CostKind::Barrier: return "barrier";
+      default: return "?";
+    }
+}
+
+namespace
+{
+
+/** Which latency histogram (if any) a blocking stall feeds. */
+const trace::LatencyKind*
+stallLatencyKind(CostKind k)
+{
+    static constexpr trace::LatencyKind miss = trace::LatencyKind::MissStall;
+    static constexpr trace::LatencyKind wf = trace::LatencyKind::WriteFault;
+    static constexpr trace::LatencyKind bar =
+        trace::LatencyKind::BarrierWait;
+    switch (k) {
+      case CostKind::PrivMiss:
+      case CostKind::SharedMiss: return &miss;
+      case CostKind::WriteFault: return &wf;
+      case CostKind::Barrier: return &bar;
+      default: return nullptr;
+    }
+}
+
+} // namespace
+
 Processor::Processor(Engine& engine, NodeId id, std::size_t stack_bytes)
     : engine_(engine), id_(id), stackBytes_(stack_bytes)
 {
@@ -35,9 +72,15 @@ Processor::blockFor(CostKind k)
 {
     assert(onFiber_ && "blockFor() outside the processor's fiber");
     Cycle t0 = clock_;
+    blockCause_ = costKindName(k);
     yieldFiber(State::Blocked);
     // Resumed: resume() advanced our clock to the completion time.
     stats_.addCycles(map(k), clock_ - t0);
+    if (tracer_) {
+        tracer_->span(id_, map(k), t0, clock_);
+        if (const trace::LatencyKind* lk = stallLatencyKind(k))
+            tracer_->latency(*lk, clock_ - t0);
+    }
     checkInterrupt();
     return clock_;
 }

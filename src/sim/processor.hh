@@ -26,6 +26,7 @@
 #include "sim/fiber.hh"
 #include "sim/types.hh"
 #include "stats/proc_stats.hh"
+#include "trace/tracer.hh"
 
 namespace wwt::sim
 {
@@ -42,6 +43,9 @@ enum class CostKind : std::uint8_t {
     Net,        ///< network-interface loads/stores
     Barrier,    ///< waiting at a hardware barrier
 };
+
+/** Human-readable name of a cost kind (diagnostics, trace labels). */
+const char* costKindName(CostKind k);
 
 /** One simulated processor: a fiber, a local clock, and statistics. */
 class Processor
@@ -83,8 +87,12 @@ class Processor
     advance(CostKind k, Cycle n)
     {
         assert(onFiber_ && "advance() outside the processor's fiber");
-        stats_.addCycles(map(k), n);
+        stats::Category c = map(k);
+        stats_.addCycles(c, n);
+        Cycle t0 = clock_;
         clock_ += n;
+        if (tracer_)
+            tracer_->span(id_, c, t0, clock_);
         checkInterrupt();
         if (clock_ >= quantumEnd_)
             yieldFiber(State::Ready);
@@ -120,6 +128,17 @@ class Processor
      * max(current clock, @p at).
      */
     void resume(Cycle at);
+
+    /**
+     * What the processor is (or was last) blocked on — the cost kind
+     * passed to blockFor(). Used by the engine's deadlock diagnostic.
+     * @return nullptr if the processor never blocked.
+     */
+    const char* blockCause() const { return blockCause_; }
+
+    /** Attach (or detach, with nullptr) a flight recorder. */
+    void setTracer(trace::Tracer* t) { tracer_ = t; }
+    trace::Tracer* tracer() const { return tracer_; }
 
     // ------------------------------------------------------------------
     // Interrupt support (message-passing network interface).
@@ -180,6 +199,8 @@ class Processor
     Cycle clock_ = 0;
     Cycle quantumEnd_ = 0;
     bool onFiber_ = false;
+    const char* blockCause_ = nullptr;
+    trace::Tracer* tracer_ = nullptr;
     stats::ProcStats stats_;
     std::vector<stats::Attribution> attrStack_{stats::appAttribution()};
 

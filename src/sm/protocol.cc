@@ -50,6 +50,11 @@ DirProtocol::miss(sim::Processor& req, Addr addr, bool write,
 
     Addr block = blockOf(addr);
     NodeId home = homeOf(addr);
+    if (trace::Tracer* tr = engine_.tracer()) {
+        r.traceId = tr->newFlowId();
+        tr->flowBegin(r.req, trace::FlowKind::ProtoTxn, r.traceId,
+                      req.now());
+    }
     countMsg(r.req, home, false);
     Cycle at = req.now() + net_.latency(r.req, home);
     engine_.schedule(at, [this, home, block, r, at] {
@@ -77,6 +82,11 @@ DirProtocol::atomic(sim::Processor& req, Addr addr, bool had_copy,
 
     Addr block = blockOf(addr);
     NodeId home = homeOf(addr);
+    if (trace::Tracer* tr = engine_.tracer()) {
+        r.traceId = tr->newFlowId();
+        tr->flowBegin(r.req, trace::FlowKind::ProtoTxn, r.traceId,
+                      req.now());
+    }
     countMsg(r.req, home, false);
     Cycle at = req.now() + net_.latency(r.req, home);
     engine_.schedule(at, [this, home, block, r, at] {
@@ -179,6 +189,10 @@ DirProtocol::onWriteback(NodeId home, Addr block, NodeId from, Cycle at)
 void
 DirProtocol::service(NodeId home, Addr block, Req r, Cycle at)
 {
+    if (r.traceId != 0) {
+        if (trace::Tracer* tr = engine_.tracer())
+            tr->flowStep(home, trace::FlowKind::ProtoTxn, r.traceId, at);
+    }
     DirEntry& e = dir_[block];
     if (e.busy) {
         e.q.emplace_back(r, at);
@@ -397,6 +411,10 @@ DirProtocol::fill(const Req& r, Cycle at)
             }
         }
         atomicResult_[r.req] = old;
+    }
+    if (r.traceId != 0) {
+        if (trace::Tracer* tr = engine_.tracer())
+            tr->flowEnd(r.req, trace::FlowKind::ProtoTxn, r.traceId, at);
     }
     engine_.proc(r.req).resume(at);
 }

@@ -148,6 +148,7 @@ class DirProtocol
         std::uint64_t aExpect = 0;
         unsigned width = 8;
         Addr addr = 0; ///< full address (atomics need it)
+        std::uint64_t traceId = 0; ///< flow id when tracing (0 = off)
     };
 
     struct Txn {

@@ -106,6 +106,8 @@ SmMachine::Node::lockAcquire(std::size_t lock_id)
     sim::AttrScope scope(
         proc, stats::lumpedAttribution(stats::Category::Lock));
     m_.locks_.at(lock_id)->acquire(mem);
+    if (trace::Tracer* tr = proc.tracer())
+        tr->lockAcquired(id, lock_id, proc.now());
 }
 
 void
@@ -113,6 +115,8 @@ SmMachine::Node::lockRelease(std::size_t lock_id)
 {
     sim::AttrScope scope(
         proc, stats::lumpedAttribution(stats::Category::Lock));
+    if (trace::Tracer* tr = proc.tracer())
+        tr->lockReleased(id, lock_id, proc.now());
     m_.locks_.at(lock_id)->release(mem);
 }
 

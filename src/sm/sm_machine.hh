@@ -95,7 +95,13 @@ class SmMachine
         void charge(Cycle n) { proc.charge(n); }
 
         /** Switch this node's statistics to phase @p i. */
-        void setPhase(std::size_t i) { proc.stats().setPhase(i); }
+        void
+        setPhase(std::size_t i)
+        {
+            proc.stats().setPhase(i);
+            if (trace::Tracer* tr = proc.tracer())
+                tr->phaseSwitch(id, i, proc.now());
+        }
 
       private:
         SmMachine& m_;

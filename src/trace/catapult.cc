@@ -1,0 +1,137 @@
+#include "trace/catapult.hh"
+
+#include <string>
+
+#include "trace/json.hh"
+
+namespace wwt::trace
+{
+
+namespace
+{
+
+/** Common fields every trace event carries. */
+void
+eventHead(JsonWriter& w, const char* name, const char* cat,
+          const char* ph, Cycle ts, std::size_t pid, NodeId tid)
+{
+    w.kv("name", name);
+    w.kv("cat", cat);
+    w.kv("ph", ph);
+    w.kv("ts", static_cast<std::uint64_t>(ts));
+    w.kv("pid", pid);
+    w.kv("tid", static_cast<std::uint64_t>(tid));
+}
+
+void
+writeRecord(JsonWriter& w, const Record& r, std::size_t pid, NodeId tid)
+{
+    switch (r.kind) {
+      case Record::Kind::Span:
+        w.beginObject();
+        eventHead(w, stats::categoryName(static_cast<stats::Category>(r.tag)),
+                  "cycles", "X", r.t0, pid, tid);
+        w.kv("dur", static_cast<std::uint64_t>(r.t1 - r.t0));
+        w.endObject();
+        break;
+      case Record::Kind::OpSpan:
+        w.beginObject();
+        eventHead(w, opKindName(static_cast<OpKind>(r.tag)), "op", "X",
+                  r.t0, pid, tid);
+        w.kv("dur", static_cast<std::uint64_t>(r.t1 - r.t0));
+        w.endObject();
+        break;
+      case Record::Kind::Instant:
+        w.beginObject();
+        eventHead(w, instantKindName(static_cast<InstantKind>(r.tag)),
+                  "sim", "i", r.t0, pid, tid);
+        w.kv("s", "t"); // thread-scoped instant
+        w.key("args").beginObject().kv(
+            "value", static_cast<std::uint64_t>(r.arg));
+        w.endObject();
+        w.endObject();
+        break;
+      case Record::Kind::FlowBegin:
+      case Record::Kind::FlowStep:
+      case Record::Kind::FlowEnd: {
+        const char* ph = r.kind == Record::Kind::FlowBegin ? "s"
+                         : r.kind == Record::Kind::FlowStep ? "t"
+                                                            : "f";
+        w.beginObject();
+        eventHead(w, flowKindName(static_cast<FlowKind>(r.tag)), "flow",
+                  ph, r.t0, pid, tid);
+        w.kv("id", r.id);
+        if (r.kind == Record::Kind::FlowEnd)
+            w.kv("bp", "e"); // bind to the enclosing slice
+        w.endObject();
+        break;
+      }
+    }
+}
+
+void
+threadMeta(JsonWriter& w, std::size_t pid, NodeId tid,
+           const std::string& name)
+{
+    w.beginObject();
+    w.kv("name", "thread_name");
+    w.kv("ph", "M");
+    w.kv("pid", pid);
+    w.kv("tid", static_cast<std::uint64_t>(tid));
+    w.key("args").beginObject().kv("name", name).endObject();
+    w.endObject();
+    w.beginObject();
+    w.kv("name", "thread_sort_index");
+    w.kv("ph", "M");
+    w.kv("pid", pid);
+    w.kv("tid", static_cast<std::uint64_t>(tid));
+    w.key("args").beginObject().kv(
+        "sort_index", static_cast<std::uint64_t>(tid));
+    w.endObject();
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeCatapult(std::ostream& os, const std::vector<TracedRun>& runs)
+{
+    JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.kv("displayTimeUnit", "ms");
+    w.key("traceEvents").beginArray();
+
+    for (std::size_t pid = 0; pid < runs.size(); ++pid) {
+        const auto& [name, tracer] = runs[pid];
+        w.beginObject();
+        w.kv("name", "process_name");
+        w.kv("ph", "M");
+        w.kv("pid", pid);
+        w.key("args").beginObject().kv("name", name).endObject();
+        w.endObject();
+        if (!tracer)
+            continue;
+
+        NodeId engine = tracer->engineTrack();
+        for (NodeId tid = 0; tid < tracer->numTracks(); ++tid) {
+            threadMeta(w, pid, tid,
+                       tid == engine ? "engine"
+                                     : "proc " + std::to_string(tid));
+            tracer->forEach(tid, [&](const Record& r) {
+                writeRecord(w, r, pid, tid);
+            });
+        }
+    }
+
+    w.endArray();
+    w.endObject();
+}
+
+void
+writeCatapult(std::ostream& os, const std::string& name,
+              const Tracer& tracer)
+{
+    writeCatapult(os, {{name, &tracer}});
+}
+
+} // namespace wwt::trace

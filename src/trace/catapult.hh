@@ -1,0 +1,39 @@
+#pragma once
+
+/**
+ * @file
+ * Chrome trace-event (catapult) JSON export.
+ *
+ * Renders a Tracer's ring buffers as a trace-event file that opens
+ * directly in chrome://tracing or https://ui.perfetto.dev: one
+ * "process" per run, one "thread" per simulated processor (plus the
+ * engine track), attribution-category spans as complete ("X") events,
+ * and protocol/network messages as flow ("s"/"t"/"f") arrows.
+ * Timestamps are simulated cycles, written 1 cycle = 1 µs so the
+ * viewer's time axis reads directly in cycles.
+ */
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/tracer.hh"
+
+namespace wwt::trace
+{
+
+/** One run to export: a display name plus its tracer. */
+using TracedRun = std::pair<std::string, const Tracer*>;
+
+/**
+ * Write @p runs as one trace-event JSON document. Each run becomes a
+ * trace "process" (pid = its index) named after the run.
+ */
+void writeCatapult(std::ostream& os, const std::vector<TracedRun>& runs);
+
+/** Convenience: export a single run. */
+void writeCatapult(std::ostream& os, const std::string& name,
+                   const Tracer& tracer);
+
+} // namespace wwt::trace

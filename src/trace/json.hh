@@ -1,0 +1,210 @@
+#pragma once
+
+/**
+ * @file
+ * A minimal streaming JSON writer.
+ *
+ * Both run artifacts (the catapult trace and the metrics manifest) are
+ * JSON; this writer handles the fiddly parts — commas, escaping,
+ * deterministic number formatting — so the exporters stay declarative.
+ * Output is byte-deterministic: the same sequence of calls always
+ * produces the same bytes (doubles use %.17g, which round-trips).
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace wwt::trace
+{
+
+/** Streaming JSON writer with automatic commas and indentation. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream& os, bool pretty = true)
+        : os_(os), pretty_(pretty)
+    {
+    }
+
+    JsonWriter&
+    beginObject()
+    {
+        comma();
+        os_ << '{';
+        push(true);
+        return *this;
+    }
+
+    JsonWriter&
+    endObject()
+    {
+        pop('}');
+        return *this;
+    }
+
+    JsonWriter&
+    beginArray()
+    {
+        comma();
+        os_ << '[';
+        push(false);
+        return *this;
+    }
+
+    JsonWriter&
+    endArray()
+    {
+        pop(']');
+        return *this;
+    }
+
+    /** Write an object key; the next value call supplies its value. */
+    JsonWriter&
+    key(std::string_view k)
+    {
+        comma();
+        writeString(k);
+        os_ << (pretty_ ? ": " : ":");
+        afterKey_ = true;
+        return *this;
+    }
+
+    JsonWriter&
+    value(std::string_view v)
+    {
+        comma();
+        writeString(v);
+        return *this;
+    }
+
+    JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+
+    JsonWriter&
+    value(bool v)
+    {
+        comma();
+        os_ << (v ? "true" : "false");
+        return *this;
+    }
+
+    JsonWriter&
+    value(std::uint64_t v)
+    {
+        comma();
+        os_ << v;
+        return *this;
+    }
+
+    JsonWriter&
+    value(std::int64_t v)
+    {
+        comma();
+        os_ << v;
+        return *this;
+    }
+
+    JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+    JsonWriter&
+    value(double v)
+    {
+        comma();
+        if (!std::isfinite(v)) {
+            os_ << "null";
+            return *this;
+        }
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        os_ << buf;
+        return *this;
+    }
+
+    template <typename T>
+    JsonWriter&
+    kv(std::string_view k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+
+  private:
+    struct Level {
+        bool isObject;
+        bool hasItems = false;
+    };
+
+    void
+    comma()
+    {
+        if (afterKey_) {
+            afterKey_ = false;
+            return;
+        }
+        if (!stack_.empty()) {
+            if (stack_.back().hasItems)
+                os_ << ',';
+            stack_.back().hasItems = true;
+            newlineIndent(stack_.size());
+        }
+    }
+
+    void push(bool is_object) { stack_.push_back({is_object}); }
+
+    void
+    pop(char closer)
+    {
+        bool had = stack_.back().hasItems;
+        stack_.pop_back();
+        if (had)
+            newlineIndent(stack_.size());
+        os_ << closer;
+        if (stack_.empty() && pretty_)
+            os_ << '\n';
+    }
+
+    void
+    newlineIndent(std::size_t depth)
+    {
+        if (!pretty_)
+            return;
+        os_ << '\n';
+        for (std::size_t i = 0; i < depth; ++i)
+            os_ << "  ";
+    }
+
+    void
+    writeString(std::string_view s)
+    {
+        os_ << '"';
+        for (char c : s) {
+            switch (c) {
+              case '"': os_ << "\\\""; break;
+              case '\\': os_ << "\\\\"; break;
+              case '\n': os_ << "\\n"; break;
+              case '\r': os_ << "\\r"; break;
+              case '\t': os_ << "\\t"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(c) & 0xff);
+                    os_ << buf;
+                } else {
+                    os_ << c;
+                }
+            }
+        }
+        os_ << '"';
+    }
+
+    std::ostream& os_;
+    bool pretty_;
+    bool afterKey_ = false;
+    std::vector<Level> stack_;
+};
+
+} // namespace wwt::trace

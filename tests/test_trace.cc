@@ -1,0 +1,597 @@
+/**
+ * @file
+ * Tests for the flight recorder: name-table exhaustiveness, histogram
+ * bucket edges, span merging, zero-perturbation of simulated results,
+ * byte-deterministic artifacts, catapult-JSON validity, flow records,
+ * and the engine's deadlock diagnostic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <set>
+#include <sstream>
+
+#include "apps/em3d.hh"
+#include "apps/gauss.hh"
+#include "core/metrics.hh"
+#include "core/report.hh"
+#include "mp/mp_machine.hh"
+#include "sm/sm_machine.hh"
+#include "trace/catapult.hh"
+#include "trace/histogram.hh"
+#include "trace/tracer.hh"
+
+using namespace wwt;
+using trace::LogHistogram;
+using trace::Record;
+using trace::Tracer;
+
+// ---------------------------------------------------------------------
+// Name tables: every enumerator names itself, uniquely.
+// ---------------------------------------------------------------------
+
+TEST(TraceNames, CategoryNamesExhaustiveAndUnique)
+{
+    std::set<std::string> seen;
+    for (std::size_t c = 0; c < stats::kNumCategories; ++c) {
+        const char* n = stats::categoryName(static_cast<stats::Category>(c));
+        ASSERT_NE(n, nullptr) << "category " << c;
+        EXPECT_NE(*n, '\0') << "category " << c;
+        EXPECT_TRUE(seen.insert(n).second)
+            << "duplicate category name: " << n;
+    }
+    EXPECT_EQ(seen.size(), stats::kNumCategories);
+}
+
+TEST(TraceNames, CostKindNamesExhaustiveAndUnique)
+{
+    using sim::CostKind;
+    std::set<std::string> seen;
+    for (CostKind k : {CostKind::Comp, CostKind::PrivMiss,
+                       CostKind::SharedMiss, CostKind::WriteFault,
+                       CostKind::Tlb, CostKind::Net, CostKind::Barrier}) {
+        const char* n = sim::costKindName(k);
+        ASSERT_NE(n, nullptr);
+        EXPECT_NE(*n, '\0');
+        EXPECT_TRUE(seen.insert(n).second) << "duplicate: " << n;
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(TraceNames, TracerEnumNamesExhaustiveAndUnique)
+{
+    std::set<std::string> lat;
+    for (std::size_t k = 0; k < trace::kNumLatencyKinds; ++k) {
+        const char* n =
+            trace::latencyKindName(static_cast<trace::LatencyKind>(k));
+        ASSERT_NE(n, nullptr);
+        EXPECT_NE(*n, '\0');
+        EXPECT_TRUE(lat.insert(n).second) << "duplicate: " << n;
+    }
+
+    std::set<std::string> ops;
+    for (std::size_t k = 0;
+         k < static_cast<std::size_t>(trace::OpKind::NumOpKinds); ++k) {
+        const char* n = trace::opKindName(static_cast<trace::OpKind>(k));
+        ASSERT_NE(n, nullptr);
+        EXPECT_NE(*n, '\0');
+        EXPECT_TRUE(ops.insert(n).second) << "duplicate: " << n;
+    }
+
+    std::set<std::string> insts;
+    for (std::size_t k = 0;
+         k < static_cast<std::size_t>(trace::InstantKind::NumInstantKinds);
+         ++k) {
+        const char* n =
+            trace::instantKindName(static_cast<trace::InstantKind>(k));
+        ASSERT_NE(n, nullptr);
+        EXPECT_NE(*n, '\0');
+        EXPECT_TRUE(insts.insert(n).second) << "duplicate: " << n;
+    }
+
+    std::set<std::string> flows;
+    for (std::size_t k = 0;
+         k < static_cast<std::size_t>(trace::FlowKind::NumFlowKinds); ++k) {
+        const char* n = trace::flowKindName(static_cast<trace::FlowKind>(k));
+        ASSERT_NE(n, nullptr);
+        EXPECT_NE(*n, '\0');
+        EXPECT_TRUE(flows.insert(n).second) << "duplicate: " << n;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Histogram bucket boundaries.
+// ---------------------------------------------------------------------
+
+TEST(LogHistogramTest, BucketEdges)
+{
+    EXPECT_EQ(LogHistogram::bucketOf(0), 0u);
+    EXPECT_EQ(LogHistogram::bucketOf(1), 1u);
+    EXPECT_EQ(LogHistogram::bucketOf(2), 2u);
+    EXPECT_EQ(LogHistogram::bucketOf(3), 2u);
+    EXPECT_EQ(LogHistogram::bucketOf(4), 3u);
+    EXPECT_EQ(LogHistogram::bucketOf(7), 3u);
+    EXPECT_EQ(LogHistogram::bucketOf(8), 4u);
+    EXPECT_EQ(LogHistogram::bucketOf(~std::uint64_t{0}),
+              LogHistogram::kBuckets - 1);
+
+    // Every bucket's own bounds land back in that bucket.
+    for (std::size_t b = 0; b < LogHistogram::kBuckets; ++b) {
+        EXPECT_EQ(LogHistogram::bucketOf(LogHistogram::bucketLo(b)), b);
+        EXPECT_EQ(LogHistogram::bucketOf(LogHistogram::bucketHi(b)), b);
+        EXPECT_LE(LogHistogram::bucketLo(b), LogHistogram::bucketHi(b));
+        if (b + 1 < LogHistogram::kBuckets) {
+            EXPECT_EQ(LogHistogram::bucketHi(b) + 1,
+                      LogHistogram::bucketLo(b + 1));
+        }
+    }
+}
+
+TEST(LogHistogramTest, StatsAndQuantiles)
+{
+    LogHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+
+    for (std::uint64_t v : {0, 1, 2, 3, 100})
+        h.record(v);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 106u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 100u);
+    EXPECT_DOUBLE_EQ(h.mean(), 106.0 / 5);
+    EXPECT_EQ(h.bucketCount(0), 1u); // {0}
+    EXPECT_EQ(h.bucketCount(1), 1u); // {1}
+    EXPECT_EQ(h.bucketCount(2), 2u); // {2, 3}
+    EXPECT_EQ(h.bucketCount(7), 1u); // [64, 127] -> 100
+    // Quantiles are bucket upper bounds, clamped to the observed max.
+    EXPECT_EQ(h.quantile(0.0), 0u);
+    EXPECT_EQ(h.quantile(0.5), 3u);
+    EXPECT_EQ(h.quantile(1.0), 100u);
+}
+
+// ---------------------------------------------------------------------
+// Ring-buffer behavior: span merging and overflow accounting.
+// ---------------------------------------------------------------------
+
+TEST(TracerTest, ContiguousSameCategorySpansMerge)
+{
+    Tracer tr(1, 16);
+    using stats::Category;
+    tr.span(0, Category::Computation, 0, 10);
+    tr.span(0, Category::Computation, 10, 25); // merges
+    tr.span(0, Category::LocalMiss, 25, 30);   // new record
+    tr.span(0, Category::Computation, 40, 50); // gap: new record
+    EXPECT_EQ(tr.recordCount(0), 3u);
+
+    std::vector<Record> recs;
+    tr.forEach(0, [&](const Record& r) { recs.push_back(r); });
+    ASSERT_EQ(recs.size(), 3u);
+    EXPECT_EQ(recs[0].t0, 0u);
+    EXPECT_EQ(recs[0].t1, 25u);
+    EXPECT_EQ(recs[1].tag,
+              static_cast<std::uint8_t>(Category::LocalMiss));
+    EXPECT_EQ(recs[2].t0, 40u);
+}
+
+TEST(TracerTest, RingOverflowDropsOldestAndCounts)
+{
+    Tracer tr(1, 4);
+    for (Cycle t = 0; t < 10; ++t)
+        tr.instant(0, trace::InstantKind::PhaseSwitch, t,
+                   static_cast<std::uint32_t>(t));
+    EXPECT_EQ(tr.recordCount(0), 4u);
+    EXPECT_EQ(tr.dropped(0), 6u);
+    // Survivors are the newest, oldest-first.
+    Cycle expect = 6;
+    tr.forEach(0, [&](const Record& r) { EXPECT_EQ(r.t0, expect++); });
+    EXPECT_EQ(expect, 10u);
+}
+
+// ---------------------------------------------------------------------
+// Zero perturbation: tracing must not change simulated results.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+core::MachineReport
+runEm3dSmReport(bool traced)
+{
+    core::MachineConfig cfg = core::MachineConfig::cm5Like();
+    cfg.nprocs = 4;
+    apps::Em3dParams p;
+    p.nodesPerProc = 32;
+    p.degree = 3;
+    p.iters = 3;
+    sm::SmMachine m(cfg);
+    if (traced)
+        m.engine().enableTracing();
+    apps::runEm3dSm(m, p);
+    return core::collectReport(m.engine(), {"Init", "Main"});
+}
+
+core::MachineReport
+runGaussMpReport(bool traced)
+{
+    core::MachineConfig cfg = core::MachineConfig::cm5Like();
+    cfg.nprocs = 4;
+    apps::GaussParams p;
+    p.n = 32;
+    mp::MpMachine m(cfg);
+    if (traced)
+        m.engine().enableTracing();
+    apps::runGaussMp(m, p);
+    return core::collectReport(m.engine(), {"Init", "Solve"});
+}
+
+void
+expectIdenticalCycles(const core::MachineReport& a,
+                      const core::MachineReport& b)
+{
+    EXPECT_EQ(a.elapsed, b.elapsed);
+    EXPECT_EQ(a.eventsExecuted, b.eventsExecuted);
+    ASSERT_EQ(a.phaseCycles.size(), b.phaseCycles.size());
+    for (std::size_t ph = 0; ph < a.phaseCycles.size(); ++ph) {
+        for (std::size_t c = 0; c < stats::kNumCategories; ++c) {
+            // Bit-identical, not approximately equal.
+            EXPECT_EQ(a.phaseCycles[ph][c], b.phaseCycles[ph][c])
+                << "phase " << ph << " category " << c;
+        }
+    }
+}
+
+} // namespace
+
+TEST(TracerTest, TracingDoesNotPerturbSmSimulation)
+{
+    core::MachineReport off = runEm3dSmReport(false);
+    core::MachineReport on = runEm3dSmReport(true);
+    expectIdenticalCycles(off, on);
+    EXPECT_TRUE(off.histograms.empty());
+    EXPECT_FALSE(on.histograms.empty());
+}
+
+TEST(TracerTest, TracingDoesNotPerturbMpSimulation)
+{
+    core::MachineReport off = runGaussMpReport(false);
+    core::MachineReport on = runGaussMpReport(true);
+    expectIdenticalCycles(off, on);
+}
+
+// ---------------------------------------------------------------------
+// Determinism: identical runs produce byte-identical artifacts.
+// ---------------------------------------------------------------------
+
+TEST(ArtifactsTest, MetricsAndTraceAreByteDeterministic)
+{
+    std::string metrics[2], traces[2];
+    for (int i = 0; i < 2; ++i) {
+        core::MachineConfig cfg = core::MachineConfig::cm5Like();
+        cfg.nprocs = 4;
+        apps::Em3dParams p;
+        p.nodesPerProc = 32;
+        p.degree = 3;
+        p.iters = 3;
+        sm::SmMachine m(cfg);
+        m.engine().enableTracing();
+        apps::runEm3dSm(m, p);
+        auto rep = core::collectReport(m.engine(), {"Init", "Main"});
+
+        std::ostringstream ms;
+        core::writeMetricsJson(ms, {{"em3d-sm", cfg, rep}});
+        metrics[i] = ms.str();
+
+        std::ostringstream ts;
+        trace::writeCatapult(ts, "em3d-sm", *m.engine().tracer());
+        traces[i] = ts.str();
+    }
+    EXPECT_EQ(metrics[0], metrics[1]);
+    EXPECT_EQ(traces[0], traces[1]);
+    EXPECT_FALSE(metrics[0].empty());
+    EXPECT_FALSE(traces[0].empty());
+}
+
+// ---------------------------------------------------------------------
+// Catapult validity: a minimal JSON parser plus event spot-checks.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Minimal recursive-descent JSON syntax checker. */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string& s) : s_(s) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\')
+                ++pos_;
+            ++pos_;
+        }
+        if (pos_ >= s_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-')) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char* lit)
+    {
+        std::size_t n = std::strlen(lit);
+        if (s_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    const std::string& s_;
+    std::size_t pos_ = 0;
+};
+
+std::size_t
+countOccurrences(const std::string& hay, const std::string& needle)
+{
+    std::size_t n = 0;
+    for (std::size_t p = hay.find(needle); p != std::string::npos;
+         p = hay.find(needle, p + needle.size()))
+        ++n;
+    return n;
+}
+
+} // namespace
+
+TEST(ArtifactsTest, CatapultJsonIsValidAndHasRequiredEvents)
+{
+    core::MachineConfig cfg = core::MachineConfig::cm5Like();
+    cfg.nprocs = 4;
+    apps::Em3dParams p;
+    p.nodesPerProc = 32;
+    p.degree = 3;
+    p.iters = 3;
+    sm::SmMachine m(cfg);
+    m.engine().enableTracing();
+    apps::runEm3dSm(m, p);
+
+    std::ostringstream ts;
+    trace::writeCatapult(ts, "em3d-sm", *m.engine().tracer());
+    std::string json = ts.str();
+
+    EXPECT_TRUE(JsonChecker(json).valid()) << "malformed JSON";
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+
+    // At least two distinct attribution-category duration events.
+    std::set<std::string> cats;
+    for (std::size_t c = 0; c < stats::kNumCategories; ++c) {
+        std::string name = std::string("\"name\":\"") +
+                           stats::categoryName(
+                               static_cast<stats::Category>(c)) +
+                           "\"";
+        if (json.find(name) != std::string::npos)
+            cats.insert(name);
+    }
+    EXPECT_GE(cats.size(), 2u) << "expected >= 2 category span names";
+    EXPECT_GT(countOccurrences(json, "\"ph\":\"X\""), 0u);
+
+    // At least one full flow arrow (a cross-processor message).
+    EXPECT_GE(countOccurrences(json, "\"ph\":\"s\""), 1u);
+    EXPECT_GE(countOccurrences(json, "\"ph\":\"f\""), 1u);
+
+    // Thread metadata names every processor track.
+    EXPECT_NE(json.find("\"proc 0\""), std::string::npos);
+    EXPECT_NE(json.find("\"engine\""), std::string::npos);
+}
+
+TEST(ArtifactsTest, MetricsJsonIsValidAndCarriesHistograms)
+{
+    core::MachineReport rep = runEm3dSmReport(true);
+    core::MachineConfig cfg = core::MachineConfig::cm5Like();
+    cfg.nprocs = 4;
+
+    std::ostringstream ms;
+    core::writeMetricsJson(ms, {{"em3d-sm", cfg, rep}});
+    std::string json = ms.str();
+
+    EXPECT_TRUE(JsonChecker(json).valid()) << "malformed JSON";
+    EXPECT_NE(json.find("\"schema\": \"wwtcmp.metrics/1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"miss_stall\""), std::string::npos);
+    EXPECT_NE(json.find("\"barrier_wait\""), std::string::npos);
+    EXPECT_NE(json.find("\"cycles_per_proc\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Flow records from the MP network interface.
+// ---------------------------------------------------------------------
+
+TEST(TracerTest, MpPacketsProduceFlowRecordsAndDeliveryLatency)
+{
+    core::MachineConfig cfg;
+    cfg.nprocs = 2;
+    mp::MpMachine m(cfg);
+    Tracer& tr = m.engine().enableTracing();
+    m.run([&](mp::MpMachine::Node& n) {
+        if (n.id == 0) {
+            n.ni.send(1, 0, {}, 0);
+        } else {
+            n.am.pollUntil([&] { return n.ni.queueDepth() > 0; });
+            n.ni.receive();
+        }
+    });
+
+    std::size_t begins = 0, ends = 0;
+    tr.forEach(0, [&](const Record& r) {
+        if (r.kind == Record::Kind::FlowBegin)
+            ++begins;
+    });
+    tr.forEach(1, [&](const Record& r) {
+        if (r.kind == Record::Kind::FlowEnd)
+            ++ends;
+    });
+    EXPECT_GE(begins, 1u);
+    EXPECT_GE(ends, 1u);
+    EXPECT_GE(tr.histogram(trace::LatencyKind::MsgDelivery).count(), 1u);
+}
+
+TEST(TracerTest, SmLocksProduceHoldHistogramSamples)
+{
+    core::MachineConfig cfg = core::MachineConfig::cm5Like();
+    cfg.nprocs = 2;
+    sm::SmMachine m(cfg);
+    Tracer& tr = m.engine().enableTracing();
+    std::size_t lock = m.createLock();
+    m.run([&](sm::SmMachine::Node& n) {
+        n.lockAcquire(lock);
+        n.proc.charge(50);
+        n.lockRelease(lock);
+    });
+    EXPECT_EQ(tr.histogram(trace::LatencyKind::LockHold).count(), 2u);
+    EXPECT_GE(tr.histogram(trace::LatencyKind::LockHold).min(), 50u);
+}
+
+// ---------------------------------------------------------------------
+// Deadlock diagnostic names the blocked processor and its cause.
+// ---------------------------------------------------------------------
+
+TEST(EngineDiagnostics, DeadlockNamesBlockedProcessorsAndCause)
+{
+    sim::Engine e(2);
+    e.setBody(0, [&] {
+        e.proc(0).charge(10);
+        e.proc(0).blockFor(sim::CostKind::Barrier); // never resumed
+    });
+    e.setBody(1, [&] { e.proc(1).charge(5); });
+
+    try {
+        e.run();
+        FAIL() << "expected a deadlock";
+    } catch (const std::runtime_error& ex) {
+        std::string msg = ex.what();
+        EXPECT_NE(msg.find("deadlock"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("proc 0"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("barrier"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("@ 10"), std::string::npos) << msg;
+    }
+}
