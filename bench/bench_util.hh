@@ -11,8 +11,10 @@
  * size. All flag parsing lives here so every driver accepts the same
  * flags — including the observability pair:
  *
- *   --trace=FILE    write a Chrome trace-event (catapult) JSON file
- *   --metrics=FILE  write the machine-readable metrics manifest
+ *   --trace=FILE      write a Chrome trace-event (catapult) JSON file
+ *   --metrics=FILE    write the machine-readable metrics manifest
+ *   --host-threads=N  host worker threads for the quantum loop
+ *                     (results are bit-identical for every N)
  *
  * Drivers feed each run into the ArtifactWriter returned by
  * artifacts(): attach() before running, addRun() after collecting the
@@ -34,6 +36,7 @@ namespace wwt::bench
 struct Options {
     bool small = false;
     std::size_t procs = 32;
+    std::size_t hostThreads = 1; ///< --host-threads=N (1 = sequential)
     std::string traceFile;   ///< --trace=FILE (empty = off)
     std::string metricsFile; ///< --metrics=FILE (empty = off)
 };
@@ -62,9 +65,16 @@ parseArgs(int argc, char** argv)
 {
     Options o;
     for (int i = 1; i < argc; ++i) {
+        std::string v;
         if (flagValue(argc, argv, i, "--trace", o.traceFile) ||
             flagValue(argc, argv, i, "--metrics", o.metricsFile))
             continue;
+        if (flagValue(argc, argv, i, "--host-threads", v)) {
+            o.hostThreads = static_cast<std::size_t>(std::atol(v.c_str()));
+            if (o.hostThreads == 0)
+                o.hostThreads = 1;
+            continue;
+        }
         if (std::strcmp(argv[i], "--small") == 0)
             o.small = true;
         else if (std::strcmp(argv[i], "--procs") == 0 && i + 1 < argc)
@@ -86,6 +96,7 @@ paperConfig(const Options& o)
 {
     core::MachineConfig cfg = core::MachineConfig::cm5Like();
     cfg.nprocs = o.procs;
+    cfg.hostThreads = o.hostThreads;
     return cfg;
 }
 

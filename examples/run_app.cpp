@@ -7,7 +7,11 @@
  *   run_app --app mse|gauss|em3d|lcp|alcp --machine mp|sm
  *           [--procs N] [--size N] [--iters N] [--local-alloc]
  *           [--cache-kb N] [--net-gap N] [--tree flat|binary|lop]
- *           [--trace FILE] [--metrics FILE]
+ *           [--host-threads N] [--trace FILE] [--metrics FILE]
+ *
+ * --host-threads picks the number of host worker threads driving the
+ * quantum loop; every value produces bit-identical results (the CI
+ * determinism gate diffs the --metrics output at 1 vs 4 threads).
  *
  * Examples:
  *   run_app --app em3d --machine sm --procs 16 --cache-kb 1024
@@ -39,6 +43,7 @@ struct Cli {
     std::size_t iters = 0; // 0 = app default
     bool localAlloc = false;
     std::size_t cacheKb = 256;
+    std::size_t hostThreads = 1;
     Cycle netGap = 0;
     std::string tree = "lop";
     std::string traceFile;
@@ -86,6 +91,13 @@ parse(int argc, char** argv, Cli& c)
             if (!v)
                 return false;
             c.cacheKb = std::strtoul(v, nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--host-threads")) {
+            const char* v = next("--host-threads");
+            if (!v)
+                return false;
+            c.hostThreads = std::strtoul(v, nullptr, 10);
+        } else if (!std::strncmp(argv[i], "--host-threads=", 15)) {
+            c.hostThreads = std::strtoul(argv[i] + 15, nullptr, 10);
         } else if (!std::strcmp(argv[i], "--net-gap")) {
             const char* v = next("--net-gap");
             if (!v)
@@ -133,6 +145,7 @@ main(int argc, char** argv)
     cfg.nprocs = c.procs;
     cfg.cache.bytes = c.cacheKb * 1024;
     cfg.netGap = c.netGap;
+    cfg.hostThreads = c.hostThreads ? c.hostThreads : 1;
     if (c.localAlloc)
         cfg.allocPolicy = mem::AllocPolicy::Local;
     mp::TreeKind tk = c.tree == "flat"     ? mp::TreeKind::Flat

@@ -84,6 +84,10 @@ struct MachineConfig {
     // ---- Simulation ----
     Cycle quantum = 100;           ///< WWT causality window
     std::size_t fiberStack = 1u << 20;
+    /** Host worker threads driving the quantum loop (1 = the
+     *  sequential engine). Results are bit-identical for any value;
+     *  see docs/parallel_host.md. */
+    std::size_t hostThreads = 1;
 
     /** The paper's machine (32 processors, Tables 1-3). */
     static MachineConfig cm5Like() { return MachineConfig{}; }

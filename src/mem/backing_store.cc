@@ -5,6 +5,24 @@
 namespace wwt::mem
 {
 
+char*
+BackingStore::chunkPtr(Addr chunk)
+{
+    {
+        std::shared_lock lock(mutex_);
+        auto it = chunks_.find(chunk);
+        if (it != chunks_.end())
+            return it->second.get();
+    }
+    std::unique_lock lock(mutex_);
+    auto& slot = chunks_[chunk];
+    if (!slot) {
+        slot = std::make_unique<char[]>(kChunkBytes);
+        std::memset(slot.get(), 0, kChunkBytes);
+    }
+    return slot.get();
+}
+
 void
 BackingStore::readBytes(void* dst, Addr src, std::size_t n)
 {

@@ -9,13 +9,26 @@
  * addresses. Storage is allocated lazily in 64 KB chunks and zero
  * initialized, so sparse address spaces (per-node private regions plus
  * a global shared region) cost only what they touch.
+ *
+ * The store is shared by all target processors, so under the parallel
+ * host (docs/parallel_host.md) concurrent fibers translate addresses
+ * concurrently. Translation uses a thread-local one-entry chunk cache
+ * (chunk base pointers are stable for the life of the store) with a
+ * shared-mutex-guarded map on the slow path. The *bytes* themselves
+ * need no locks: the coherence protocol guarantees no two processors
+ * write the same block in one quantum, and cross-quantum accesses are
+ * ordered by the engine's rendezvous barriers.
  */
 
+#include <atomic>
 #include <cassert>
 #include <cstring>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <type_traits>
 #include <unordered_map>
+#include <utility>
 
 #include "sim/types.hh"
 
@@ -26,6 +39,26 @@ namespace wwt::mem
 class BackingStore
 {
   public:
+    BackingStore() = default;
+
+    // The guard mutex is not movable; moves (machine construction,
+    // never concurrent with simulation) transfer the chunk map and
+    // the store id, and re-key the moved-from store so stale
+    // thread-local cache entries can never alias it.
+    BackingStore(BackingStore&& o) noexcept
+        : storeId_(std::exchange(o.storeId_, nextStoreId())),
+          chunks_(std::move(o.chunks_))
+    {
+    }
+
+    BackingStore&
+    operator=(BackingStore&& o) noexcept
+    {
+        storeId_ = std::exchange(o.storeId_, nextStoreId());
+        chunks_ = std::move(o.chunks_);
+        return *this;
+    }
+
     static constexpr unsigned kChunkBits = 16; // 64 KB chunks
     static constexpr Addr kChunkBytes = Addr{1} << kChunkBits;
     static constexpr Addr kChunkMask = kChunkBytes - 1;
@@ -63,27 +96,44 @@ class BackingStore
 
   private:
     char* ptr(Addr a);
+    /** Find or lazily create @p chunk's storage (locked slow path). */
+    char* chunkPtr(Addr chunk);
+    static std::uint64_t nextStoreId();
 
+    /** Process-unique id keying the thread-local chunk cache, so a
+     *  cache entry can never alias a different (or later) store. */
+    std::uint64_t storeId_ = nextStoreId();
+    mutable std::shared_mutex mutex_;
     std::unordered_map<Addr, std::unique_ptr<char[]>> chunks_;
-    // One-entry lookup cache: most accesses stay within a chunk.
-    Addr lastChunk_ = kCycleMax;
-    char* lastPtr_ = nullptr;
 };
+
+inline std::uint64_t
+BackingStore::nextStoreId()
+{
+    static std::atomic<std::uint64_t> next{0};
+    return ++next;
+}
 
 inline char*
 BackingStore::ptr(Addr a)
 {
+    // One-entry lookup cache: most accesses stay within a chunk.
+    // Thread-local so concurrent fibers never share it; chunk base
+    // pointers are stable, so a hit needs no lock.
+    struct Cached {
+        std::uint64_t store = 0;
+        Addr chunk = 0;
+        char* base = nullptr;
+    };
+    thread_local Cached cached;
+
     Addr chunk = a >> kChunkBits;
-    if (chunk != lastChunk_) {
-        auto& slot = chunks_[chunk];
-        if (!slot) {
-            slot = std::make_unique<char[]>(kChunkBytes);
-            std::memset(slot.get(), 0, kChunkBytes);
-        }
-        lastChunk_ = chunk;
-        lastPtr_ = slot.get();
+    if (cached.store != storeId_ || cached.chunk != chunk) {
+        cached.store = storeId_;
+        cached.chunk = chunk;
+        cached.base = chunkPtr(chunk);
     }
-    return lastPtr_ + (a & kChunkMask);
+    return cached.base + (a & kChunkMask);
 }
 
 } // namespace wwt::mem

@@ -29,10 +29,10 @@ NetIface::send(NodeId dest, std::uint32_t tag,
     pkt.arrival = p_.now() + net_.latency(p_.id(), dest);
 
     if (trace::Tracer* tr = p_.tracer()) {
-        pkt.traceId = tr->newFlowId();
+        pkt.traceId = tr->newFlowId(p_.id());
         tr->flowBegin(p_.id(), trace::FlowKind::Packet, pkt.traceId,
                       p_.now());
-        tr->latency(trace::LatencyKind::MsgDelivery,
+        tr->latency(p_.id(), trace::LatencyKind::MsgDelivery,
                     pkt.arrival - p_.now());
     }
 

@@ -18,9 +18,22 @@ HwBarrier::HwBarrier(sim::Engine& engine, std::size_t nprocs, Cycle latency)
 void
 HwBarrier::wait(sim::Processor& p)
 {
-    waiting_.push_back(&p);
-    lastArrival_ = std::max(lastArrival_, p.now());
     p.stats().counts().barriers++;
+    // The arrival bookkeeping touches machine-wide state, so under
+    // the parallel host it is deferred to the quantum rendezvous;
+    // arrivals merge in (processor id, program order), the order a
+    // sequential run registers them in. blockFor() happens now either
+    // way — the processor is released by the scheduled event.
+    Cycle arrival = p.now();
+    engine_.defer([this, &p, arrival] { arrive(p, arrival); });
+    p.blockFor(sim::CostKind::Barrier);
+}
+
+void
+HwBarrier::arrive(sim::Processor& p, Cycle arrival)
+{
+    waiting_.push_back(&p);
+    lastArrival_ = std::max(lastArrival_, arrival);
 
     if (waiting_.size() == nprocs_) {
         // Last arrival: release everyone latency_ cycles from now.
@@ -39,7 +52,6 @@ HwBarrier::wait(sim::Processor& p)
                 w->resume(release);
         });
     }
-    p.blockFor(sim::CostKind::Barrier);
 }
 
 } // namespace wwt::net

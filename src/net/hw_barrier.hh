@@ -43,6 +43,9 @@ class HwBarrier
     std::uint64_t episodes() const { return episodes_; }
 
   private:
+    /** Register one arrival; runs deferred under the parallel host. */
+    void arrive(sim::Processor& p, Cycle arrival);
+
     sim::Engine& engine_;
     std::size_t nprocs_;
     Cycle latency_;

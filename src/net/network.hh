@@ -57,20 +57,38 @@ class Network
     /**
      * Deliver @p fn at the destination after the network latency,
      * plus any link-occupancy delay when contention modeling is on.
-     * @return the arrival timestamp.
+     *
+     * The uncontended path only reads constants, so a fiber-side call
+     * under the parallel host simply defers the calendar insertion
+     * (via Engine::schedule). The contended path mutates the per-link
+     * occupancy state, which is machine-wide: a fiber-side call
+     * defers the whole computation to the quantum rendezvous, where
+     * link times update in the sequential (processor id, program
+     * order) interleaving.
+     *
+     * @return the arrival timestamp; nominal (uncontended) when the
+     *         contended computation was deferred. No caller consumes
+     *         the contended value.
      */
     Cycle
     deliver(Cycle now, NodeId from, NodeId to, std::function<void()> fn)
     {
-        Cycle at;
         if (gap_ == 0 || from == to) {
-            at = now + latency(from, to);
-        } else {
-            Cycle depart = std::max(now, lastInject_[from] + gap_);
-            lastInject_[from] = depart;
-            at = std::max(depart + latency_, lastArrive_[to] + gap_);
-            lastArrive_[to] = at;
+            Cycle at = now + latency(from, to);
+            engine_.schedule(at, std::move(fn));
+            return at;
         }
+        if (engine_.deferring()) {
+            engine_.defer([this, now, from, to,
+                           fn = std::move(fn)]() mutable {
+                deliver(now, from, to, std::move(fn));
+            });
+            return now + latency_;
+        }
+        Cycle depart = std::max(now, lastInject_[from] + gap_);
+        lastInject_[from] = depart;
+        Cycle at = std::max(depart + latency_, lastArrive_[to] + gap_);
+        lastArrive_[to] = at;
         engine_.schedule(at, std::move(fn));
         return at;
     }

@@ -1,11 +1,135 @@
 #include "sim/engine.hh"
 
+#include <barrier>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace wwt::sim
 {
+
+namespace
+{
+
+/**
+ * The processor whose fiber the current host thread is running, or
+ * nullptr in event/host context. Set only under the parallel host;
+ * the sequential engine never consults it.
+ */
+thread_local Processor* tls_current_proc = nullptr;
+
+/**
+ * True while the current host thread is executing fibers inside the
+ * parallel phase of a quantum (as opposed to the serial pass, where
+ * a single fiber runs with exclusive access to shared host state).
+ */
+thread_local bool tls_parallel_phase = false;
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Worker pool
+// --------------------------------------------------------------------
+
+/**
+ * Persistent host workers, one quantum per round trip.
+ *
+ * Processor i is owned by worker (i % nWorkers) for the lifetime of
+ * the pool, so each fiber is thread-affine: it is only ever switched
+ * to from its owning worker's stack. The engine thread coordinates
+ * rounds through a pair of std::barriers; barrier phase completion
+ * gives the happens-before edges between the engine's event phase and
+ * the workers' fiber phase, so per-processor state needs no locks.
+ */
+class Engine::Pool
+{
+  public:
+    Pool(Engine& eng, std::size_t workers)
+        : eng_(eng), n_(workers),
+          start_(static_cast<std::ptrdiff_t>(workers + 1)),
+          done_(static_cast<std::ptrdiff_t>(workers + 1))
+    {
+        threads_.reserve(n_);
+        for (std::size_t w = 0; w < n_; ++w)
+            threads_.emplace_back([this, w] { workerLoop(w); });
+    }
+
+    ~Pool()
+    {
+        job_ = Job::Stop;
+        start_.arrive_and_wait();
+        for (auto& t : threads_)
+            t.join();
+    }
+
+    /** Parallel phase: every owner runs its ready processors. */
+    void
+    runQuantum(Cycle qend)
+    {
+        job_ = Job::Quantum;
+        qend_ = qend;
+        round();
+    }
+
+    /**
+     * Serial pass: continue one paused processor to the quantum end
+     * on its owning worker, all other workers idle at the barrier.
+     */
+    void
+    runOne(Processor& p, Cycle qend)
+    {
+        job_ = Job::One;
+        qend_ = qend;
+        one_ = &p;
+        round();
+    }
+
+  private:
+    enum class Job { Quantum, One, Stop };
+
+    void
+    round()
+    {
+        start_.arrive_and_wait();
+        done_.arrive_and_wait();
+    }
+
+    void
+    workerLoop(std::size_t w)
+    {
+        for (;;) {
+            start_.arrive_and_wait();
+            if (job_ == Job::Stop)
+                return;
+            if (job_ == Job::Quantum) {
+                tls_parallel_phase = true;
+                for (std::size_t i = w; i < eng_.procs_.size(); i += n_) {
+                    Processor& p = *eng_.procs_[i];
+                    if (p.ready() && p.now() < qend_)
+                        eng_.runProcSlice(p, qend_);
+                }
+                tls_parallel_phase = false;
+            } else if (one_->id() % n_ == w) {
+                eng_.runProcSlice(*one_, qend_);
+            }
+            done_.arrive_and_wait();
+        }
+    }
+
+    Engine& eng_;
+    std::size_t n_;
+    std::barrier<> start_;
+    std::barrier<> done_;
+    Job job_ = Job::Quantum;
+    Cycle qend_ = 0;
+    Processor* one_ = nullptr;
+    std::vector<std::thread> threads_;
+};
+
+// --------------------------------------------------------------------
+// Engine
+// --------------------------------------------------------------------
 
 Engine::Engine(std::size_t nprocs, Cycle quantum, std::size_t stack_bytes)
     : quantum_(quantum)
@@ -22,9 +146,45 @@ Engine::Engine(std::size_t nprocs, Cycle quantum, std::size_t stack_bytes)
 }
 
 void
+Engine::setHostThreads(std::size_t n)
+{
+    hostThreads_ = n ? n : 1;
+}
+
+void
 Engine::schedule(Cycle t, EventQueue::Callback cb)
 {
+    if (hostThreads_ > 1 && tls_current_proc) {
+        tls_current_proc->deferred_.push_back(
+            [this, t, cb = std::move(cb)]() mutable {
+                events_.schedule(t, std::move(cb));
+            });
+        return;
+    }
     events_.schedule(t, std::move(cb));
+}
+
+void
+Engine::defer(std::function<void()> fn)
+{
+    if (hostThreads_ > 1 && tls_current_proc) {
+        tls_current_proc->deferred_.push_back(std::move(fn));
+        return;
+    }
+    fn();
+}
+
+bool
+Engine::deferring() const
+{
+    return hostThreads_ > 1 && tls_current_proc != nullptr;
+}
+
+void
+Engine::serialPoint(Processor& p)
+{
+    if (hostThreads_ > 1 && tls_parallel_phase)
+        p.serialYield();
 }
 
 trace::Tracer&
@@ -68,7 +228,63 @@ Engine::elapsed() const
 }
 
 void
+Engine::runProcSlice(Processor& p, Cycle quantum_end)
+{
+    tls_current_proc = &p;
+    p.runUntil(quantum_end);
+    tls_current_proc = nullptr;
+}
+
+void
+Engine::idleSkipOrDeadlock()
+{
+    // Nothing happened in this window: skip ahead to the next
+    // interesting time, or report a deadlock if there is none.
+    Cycle next = events_.nextTime();
+    for (const auto& p : procs_) {
+        if (p->ready())
+            next = std::min(next, p->now());
+    }
+    if (next == kCycleMax) {
+        std::ostringstream msg;
+        msg << "simulation deadlock at cycle " << quantumStart_
+            << "; blocked processors:";
+        bool any = false;
+        for (const auto& p : procs_) {
+            if (!p->blocked())
+                continue;
+            msg << (any ? "," : "") << " proc " << p->id() << " @ "
+                << p->now() << " ("
+                << (p->blockCause() ? p->blockCause() : "unknown")
+                << ")";
+            any = true;
+        }
+        if (!any)
+            msg << " none (idle processors never resumed)";
+        throw std::runtime_error(msg.str());
+    }
+    if (tracer_) {
+        Cycle skip = next - quantumStart_;
+        tracer_->instant(
+            tracer_->engineTrack(), trace::InstantKind::IdleSkip,
+            quantumStart_,
+            static_cast<std::uint32_t>(
+                std::min<Cycle>(skip, 0xffffffffu)));
+    }
+    quantumStart_ = (next / quantum_) * quantum_;
+}
+
+void
 Engine::run()
+{
+    if (hostThreads_ > 1 && procs_.size() > 1)
+        runParallel();
+    else
+        runSequential();
+}
+
+void
+Engine::runSequential()
 {
     while (!allFinished()) {
         Cycle qend = quantumStart_ + quantum_;
@@ -92,41 +308,81 @@ Engine::run()
             quantumStart_ = qend;
             continue;
         }
+        idleSkipOrDeadlock();
+    }
+}
 
-        // Nothing happened in this window: skip ahead to the next
-        // interesting time, or report a deadlock if there is none.
-        Cycle next = events_.nextTime();
-        for (const auto& p : procs_) {
-            if (p->ready())
-                next = std::min(next, p->now());
+void
+Engine::runParallel()
+{
+    // Effective worker count never exceeds the processor count; the
+    // engine thread itself only coordinates and merges.
+    Pool pool(*this, std::min(hostThreads_, procs_.size()));
+
+    while (!allFinished()) {
+        Cycle qend = quantumStart_ + quantum_;
+
+        // Phase 1 (engine thread): hardware events with timestamps in
+        // this window — protocol services, packet deliveries, barrier
+        // releases. All cross-processor state mutates here or in the
+        // merge below, never concurrently with fibers.
+        std::size_t nev = events_.runUntil(qend);
+        if (tracer_ && nev != 0) {
+            tracer_->instant(tracer_->engineTrack(),
+                             trace::InstantKind::QuantumEvents,
+                             quantumStart_,
+                             static_cast<std::uint32_t>(nev));
         }
-        if (next == kCycleMax) {
-            std::ostringstream msg;
-            msg << "simulation deadlock at cycle " << quantumStart_
-                << "; blocked processors:";
-            bool any = false;
-            for (const auto& p : procs_) {
-                if (!p->blocked())
-                    continue;
-                msg << (any ? "," : "") << " proc " << p->id() << " @ "
-                    << p->now() << " ("
-                    << (p->blockCause() ? p->blockCause() : "unknown")
-                    << ")";
-                any = true;
+
+        // A processor is run this quantum exactly when the sequential
+        // engine would have run it, so `ran` matches the sequential
+        // flag by construction.
+        bool ran = false;
+        for (auto& p : procs_) {
+            if (p->ready() && p->now() < qend) {
+                ran = true;
+                break;
             }
-            if (!any)
-                msg << " none (idle processors never resumed)";
-            throw std::runtime_error(msg.str());
         }
-        if (tracer_) {
-            Cycle skip = next - quantumStart_;
-            tracer_->instant(
-                tracer_->engineTrack(), trace::InstantKind::IdleSkip,
-                quantumStart_,
-                static_cast<std::uint32_t>(
-                    std::min<Cycle>(skip, 0xffffffffu)));
+
+        if (ran) {
+            // Phase 2a (workers): every owner advances its ready
+            // fibers to the quantum end. Fibers touch only their own
+            // processor's clock, stats, cache and trace track;
+            // cross-processor operations land on per-processor
+            // deferred lists.
+            pool.runQuantum(qend);
+
+            // Phase 2b (serial pass): processors paused at a serial
+            // point (gmalloc) continue one at a time in id order,
+            // giving shared host structures the sequential
+            // interleaving.
+            for (auto& p : procs_) {
+                if (p->serialPending_) {
+                    p->serialPending_ = false;
+                    pool.runOne(*p, qend);
+                }
+            }
+
+            // Phase 3 (merge, engine thread): drain the deferred
+            // operations in (processor id, program order) — the
+            // calendar insertion order of a sequential run, so event
+            // sequence numbers (and thus same-timestamp tie-breaking)
+            // are bit-identical.
+            for (auto& p : procs_) {
+                if (p->deferred_.empty())
+                    continue;
+                for (auto& fn : p->deferred_)
+                    fn();
+                p->deferred_.clear();
+            }
         }
-        quantumStart_ = (next / quantum_) * quantum_;
+
+        if (nev != 0 || ran) {
+            quantumStart_ = qend;
+            continue;
+        }
+        idleSkipOrDeadlock();
     }
 }
 

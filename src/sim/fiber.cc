@@ -5,6 +5,15 @@
 #include <stdexcept>
 #include <utility>
 
+#ifdef WWT_TSAN_FIBERS
+extern "C" {
+void* __tsan_get_current_fiber();
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
 namespace wwt::sim
 {
 
@@ -15,9 +24,18 @@ Fiber::Fiber(std::size_t stack_bytes, Entry entry)
 {
     if (!entry_)
         throw std::invalid_argument("Fiber requires a non-empty entry");
+#ifdef WWT_TSAN_FIBERS
+    tsanFiber_ = __tsan_create_fiber(0);
+#endif
 }
 
-Fiber::~Fiber() = default;
+Fiber::~Fiber()
+{
+#ifdef WWT_TSAN_FIBERS
+    if (tsanFiber_)
+        __tsan_destroy_fiber(tsanFiber_);
+#endif
+}
 
 void
 Fiber::trampoline(unsigned int hi, unsigned int lo)
@@ -34,6 +52,9 @@ Fiber::runEntry()
     finished_ = true;
     // Return control to the caller forever; switching back to a
     // finished fiber is a caller bug caught in switchTo().
+#ifdef WWT_TSAN_FIBERS
+    __tsan_switch_to_fiber(tsanCaller_, 0);
+#endif
     _longjmp(callerJb_, 1);
 }
 
@@ -46,6 +67,10 @@ Fiber::switchTo()
     // happen tens of millions of times per simulation.
     if (_setjmp(callerJb_) != 0)
         return; // the fiber yielded or finished
+#ifdef WWT_TSAN_FIBERS
+    tsanCaller_ = __tsan_get_current_fiber();
+    __tsan_switch_to_fiber(tsanFiber_, 0);
+#endif
     if (!started_) {
         started_ = true;
         if (getcontext(&ctx_) != 0)
@@ -68,8 +93,12 @@ Fiber::switchTo()
 void
 Fiber::yieldToCaller()
 {
-    if (_setjmp(fiberJb_) == 0)
+    if (_setjmp(fiberJb_) == 0) {
+#ifdef WWT_TSAN_FIBERS
+        __tsan_switch_to_fiber(tsanCaller_, 0);
+#endif
         _longjmp(callerJb_, 1);
+    }
 }
 
 } // namespace wwt::sim

@@ -10,6 +10,14 @@
  * Wisconsin Wind Tunnel suspends a target thread at a simulated miss.
  *
  * The implementation uses POSIX ucontext, like gem5's Fiber class.
+ *
+ * Under the parallel host (docs/parallel_host.md) a fiber is
+ * thread-affine: its processor is owned by one host worker, so a fiber
+ * is always entered from that worker — except for serial-section
+ * continuations, which the engine hands to the owning worker rather
+ * than migrating the fiber. Under ThreadSanitizer the switches are
+ * annotated through the __tsan fiber API so the stack changes are
+ * understood by the race detector.
  */
 
 #include <setjmp.h>
@@ -18,6 +26,14 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+
+#if defined(__SANITIZE_THREAD__)
+#define WWT_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define WWT_TSAN_FIBERS 1
+#endif
+#endif
 
 namespace wwt::sim
 {
@@ -72,6 +88,10 @@ class Fiber
     jmp_buf fiberJb_{};      ///< steady-state switch target (fiber)
     bool started_ = false;
     bool finished_ = false;
+#ifdef WWT_TSAN_FIBERS
+    void* tsanFiber_ = nullptr; ///< TSan context of this fiber
+    void* tsanCaller_ = nullptr; ///< TSan context of the last caller
+#endif
 };
 
 } // namespace wwt::sim

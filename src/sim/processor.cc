@@ -79,7 +79,7 @@ Processor::blockFor(CostKind k)
     if (tracer_) {
         tracer_->span(id_, map(k), t0, clock_);
         if (const trace::LatencyKind* lk = stallLatencyKind(k))
-            tracer_->latency(*lk, clock_ - t0);
+            tracer_->latency(id_, *lk, clock_ - t0);
     }
     checkInterrupt();
     return clock_;
@@ -100,6 +100,16 @@ void
 Processor::setInterruptHandler(std::function<void()> h)
 {
     irqHandler_ = std::move(h);
+}
+
+void
+Processor::serialYield()
+{
+    assert(onFiber_ && "serialYield() outside the processor's fiber");
+    serialPending_ = true;
+    yieldFiber(State::Ready);
+    // Resumed by the engine's serial pass: the caller now runs with
+    // exclusive access to shared host state, at an unchanged clock.
 }
 
 void

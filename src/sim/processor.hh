@@ -160,6 +160,16 @@ class Processor
     /** Engine side: run the fiber until it passes @p quantum_end. */
     void runUntil(Cycle quantum_end);
 
+    /**
+     * Fiber side: pause for the engine's serial section. Sets the
+     * serial-pending flag and yields in the Ready state; the engine
+     * resumes the fiber once all host workers have reached the
+     * quantum rendezvous, so the code after the yield runs with
+     * exclusive access to shared host structures (the allocator).
+     * The clock does not move, so timing is unaffected.
+     */
+    void serialYield();
+
     stats::Category
     map(CostKind k) const
     {
@@ -208,6 +218,17 @@ class Processor
     bool irqEnabled_ = false;
     bool irqPending_ = false;
     bool inIrq_ = false;
+
+    // ---- Parallel-host state (engine-managed, see engine.cc) ----
+    /** Paused at a serial point; awaiting the engine's serial pass. */
+    bool serialPending_ = false;
+    /**
+     * Cross-processor operations issued by this processor's fiber
+     * during the current quantum, in program order. The engine drains
+     * the lists at the quantum rendezvous in processor-id order, which
+     * reproduces the sequential calendar-insertion order exactly.
+     */
+    std::vector<std::function<void()>> deferred_;
 };
 
 /** RAII guard installing an attribution frame on a processor. */

@@ -51,7 +51,7 @@ DirProtocol::miss(sim::Processor& req, Addr addr, bool write,
     Addr block = blockOf(addr);
     NodeId home = homeOf(addr);
     if (trace::Tracer* tr = engine_.tracer()) {
-        r.traceId = tr->newFlowId();
+        r.traceId = tr->newFlowId(r.req);
         tr->flowBegin(r.req, trace::FlowKind::ProtoTxn, r.traceId,
                       req.now());
     }
@@ -83,7 +83,7 @@ DirProtocol::atomic(sim::Processor& req, Addr addr, bool had_copy,
     Addr block = blockOf(addr);
     NodeId home = homeOf(addr);
     if (trace::Tracer* tr = engine_.tracer()) {
-        r.traceId = tr->newFlowId();
+        r.traceId = tr->newFlowId(r.req);
         tr->flowBegin(r.req, trace::FlowKind::ProtoTxn, r.traceId,
                       req.now());
     }

@@ -74,6 +74,23 @@ class LogHistogram
     }
 
     /**
+     * Fold @p o into this histogram. Buckets, counts and sums add;
+     * min/max combine. Merging is commutative and associative, so a
+     * set of per-processor shards merges to the same histogram no
+     * matter the order — the property the parallel host relies on.
+     */
+    void
+    merge(const LogHistogram& o)
+    {
+        for (std::size_t b = 0; b < kBuckets; ++b)
+            buckets_[b] += o.buckets_[b];
+        count_ += o.count_;
+        sum_ += o.sum_;
+        min_ = std::min(min_, o.min_);
+        max_ = std::max(max_, o.max_);
+    }
+
+    /**
      * Approximate quantile: the upper bound of the bucket containing
      * the @p q-th sample (0 <= q <= 1), clamped to the observed max.
      * Deterministic: depends only on the recorded multiset.

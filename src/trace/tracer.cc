@@ -162,18 +162,19 @@ Tracer::flowEnd(NodeId p, FlowKind k, std::uint64_t id, Cycle t)
 void
 Tracer::lockAcquired(NodeId p, std::uint64_t lock, Cycle t)
 {
-    openLocks_[{p, lock}] = t;
+    tracks_[p].openLocks[lock] = t;
 }
 
 void
 Tracer::lockReleased(NodeId p, std::uint64_t lock, Cycle t)
 {
-    auto it = openLocks_.find({p, lock});
-    if (it == openLocks_.end())
+    auto& open = tracks_[p].openLocks;
+    auto it = open.find(lock);
+    if (it == open.end())
         return; // release without a recorded acquire: ignore
     Cycle t0 = it->second;
-    openLocks_.erase(it);
-    latency(LatencyKind::LockHold, t - t0);
+    open.erase(it);
+    latency(p, LatencyKind::LockHold, t - t0);
     op(p, OpKind::LockHold, t0, t);
 }
 

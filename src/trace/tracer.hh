@@ -18,6 +18,16 @@
  * null-pointer branch at each hook. Ring buffers bound memory: when a
  * track overflows, the oldest records are overwritten and counted in
  * dropped().
+ *
+ * Threading discipline (docs/parallel_host.md): every mutable piece of
+ * tracer state — ring buffers, latency-histogram shards, flow-id
+ * counters, open-lock tables — is partitioned by track, and a track is
+ * only ever written by the host thread currently running that
+ * processor's fiber (or by the engine thread, for the engine track).
+ * The tracer therefore needs no locks under the parallel host, and
+ * histogram() merges the per-track shards on read, which is
+ * order-independent and hence byte-identical across host-thread
+ * counts.
  */
 
 #include <array>
@@ -133,17 +143,27 @@ class Tracer
     /** Record a point event. */
     void instant(NodeId p, InstantKind k, Cycle t, std::uint32_t arg = 0);
 
-    /** Allocate a fresh flow id (deterministic: a simple counter). */
-    std::uint64_t newFlowId() { return ++flowSeq_; }
+    /**
+     * Allocate a fresh flow id for a flow originating on track @p p.
+     * Deterministic: a per-track counter tagged with the track number,
+     * so concurrent fibers never contend and ids are stable across
+     * host-thread counts.
+     */
+    std::uint64_t
+    newFlowId(NodeId p)
+    {
+        return ((static_cast<std::uint64_t>(p) + 1) << 40) |
+               ++tracks_[p].flowSeq;
+    }
 
     void flowBegin(NodeId p, FlowKind k, std::uint64_t id, Cycle t);
     void flowStep(NodeId p, FlowKind k, std::uint64_t id, Cycle t);
     void flowEnd(NodeId p, FlowKind k, std::uint64_t id, Cycle t);
 
-    /** Record a sample in the @p k latency histogram. */
-    void latency(LatencyKind k, Cycle v)
+    /** Record a sample in track @p p's shard of the @p k histogram. */
+    void latency(NodeId p, LatencyKind k, Cycle v)
     {
-        hist_[static_cast<std::size_t>(k)].record(v);
+        tracks_[p].hist[static_cast<std::size_t>(k)].record(v);
     }
 
     /** Lock-hold bracketing: hold time runs acquire -> release. */
@@ -157,10 +177,14 @@ class Tracer
     // Inspection / export.
     // ------------------------------------------------------------------
 
-    const LogHistogram&
+    /** The @p k latency distribution, merged across track shards. */
+    LogHistogram
     histogram(LatencyKind k) const
     {
-        return hist_[static_cast<std::size_t>(k)];
+        LogHistogram h;
+        for (const Track& t : tracks_)
+            h.merge(t.hist[static_cast<std::size_t>(k)]);
+        return h;
     }
 
     /** Records currently held for @p track. */
@@ -190,6 +214,11 @@ class Tracer
         std::vector<Record> buf;
         std::size_t head = 0; ///< oldest record once the ring wrapped
         std::uint64_t dropped = 0;
+        /** This track's shard of each latency histogram. */
+        std::array<LogHistogram, kNumLatencyKinds> hist{};
+        std::uint64_t flowSeq = 0;
+        /** Open lock-hold intervals on this track, keyed by lock id. */
+        std::map<std::uint64_t, Cycle> openLocks;
     };
 
     void push(NodeId track, const Record& r);
@@ -198,10 +227,6 @@ class Tracer
     std::size_t nprocs_;
     std::size_t cap_;
     std::vector<Track> tracks_;
-    std::array<LogHistogram, kNumLatencyKinds> hist_{};
-    std::uint64_t flowSeq_ = 0;
-    /** Open lock-hold intervals, keyed by (processor, lock id). */
-    std::map<std::pair<NodeId, std::uint64_t>, Cycle> openLocks_;
 };
 
 } // namespace wwt::trace

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the parallel host (docs/parallel_host.md): the quantum
+ * loop partitioned across host worker threads must be bit-identical
+ * to the sequential engine — same per-processor cycle counts, same
+ * event totals, same application results — and same-cycle events
+ * must merge into the calendar in the deterministic (processor id,
+ * program order) order. Deadlock detection must also survive the
+ * threaded scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "apps/em3d.hh"
+#include "core/config.hh"
+#include "core/report.hh"
+#include "mp/mp_machine.hh"
+#include "sim/engine.hh"
+#include "sim/processor.hh"
+#include "sm/sm_machine.hh"
+
+using namespace wwt;
+
+namespace
+{
+
+/** Everything that must be bit-identical across host thread counts. */
+struct Fingerprint {
+    Cycle elapsed = 0;
+    std::uint64_t events = 0;
+    std::vector<Cycle> procNow;
+    double checksum = 0;
+    std::vector<double> eVals;
+    std::vector<std::array<double, stats::kNumCategories>> phaseCycles;
+    std::uint64_t packetsSent = 0;
+    std::uint64_t protoMsgs = 0;
+    std::uint64_t barriers = 0;
+
+    bool
+    operator==(const Fingerprint& o) const
+    {
+        return elapsed == o.elapsed && events == o.events &&
+               procNow == o.procNow && checksum == o.checksum &&
+               eVals == o.eVals && phaseCycles == o.phaseCycles &&
+               packetsSent == o.packetsSent &&
+               protoMsgs == o.protoMsgs && barriers == o.barriers;
+    }
+};
+
+apps::Em3dParams
+smallEm3d()
+{
+    apps::Em3dParams p;
+    p.nodesPerProc = 24;
+    p.degree = 4;
+    p.iters = 3;
+    return p;
+}
+
+template <typename Machine, typename RunFn>
+Fingerprint
+fingerprint(std::size_t hostThreads, RunFn run)
+{
+    core::MachineConfig cfg;
+    cfg.nprocs = 4;
+    cfg.hostThreads = hostThreads;
+    Machine m(cfg);
+    apps::Em3dResult r = run(m, smallEm3d());
+    sim::Engine& e = m.engine();
+
+    Fingerprint f;
+    f.elapsed = e.elapsed();
+    f.events = e.eventsExecuted();
+    for (NodeId i = 0; i < cfg.nprocs; ++i)
+        f.procNow.push_back(e.proc(i).now());
+    f.checksum = r.checksum;
+    f.eVals = r.eVals;
+    core::MachineReport rep = core::collectReport(e);
+    f.phaseCycles = rep.phaseCycles;
+    stats::Counts c = rep.counts();
+    f.packetsSent = c.packetsSent;
+    f.protoMsgs = c.protoMsgs;
+    f.barriers = c.barriers;
+    return f;
+}
+
+} // namespace
+
+TEST(ParallelEngine, Em3dSmBitIdenticalAcrossHostThreads)
+{
+    auto run = [](sm::SmMachine& m, const apps::Em3dParams& p) {
+        return apps::runEm3dSm(m, p);
+    };
+    Fingerprint seq = fingerprint<sm::SmMachine>(1, run);
+    EXPECT_EQ(fingerprint<sm::SmMachine>(2, run), seq);
+    EXPECT_EQ(fingerprint<sm::SmMachine>(4, run), seq);
+    EXPECT_GT(seq.elapsed, 0u);
+    EXPECT_GT(seq.protoMsgs, 0u);
+}
+
+TEST(ParallelEngine, Em3dMpBitIdenticalAcrossHostThreads)
+{
+    auto run = [](mp::MpMachine& m, const apps::Em3dParams& p) {
+        return apps::runEm3dMp(m, p);
+    };
+    Fingerprint seq = fingerprint<mp::MpMachine>(1, run);
+    EXPECT_EQ(fingerprint<mp::MpMachine>(2, run), seq);
+    EXPECT_EQ(fingerprint<mp::MpMachine>(4, run), seq);
+    EXPECT_GT(seq.elapsed, 0u);
+    EXPECT_GT(seq.packetsSent, 0u);
+}
+
+// Fibers on different workers schedule events for the *same* target
+// cycle; the rendezvous must merge them in (processor id, program
+// order) — the order a sequential run would have inserted them — so
+// the calendar executes them identically for every thread count.
+TEST(ParallelEngine, SameCycleEventsMergeInProcessorOrder)
+{
+    auto order = [](std::size_t hostThreads) {
+        sim::Engine e(4);
+        e.setHostThreads(hostThreads);
+        std::vector<int> fired; // event phase is single-threaded
+        for (NodeId i = 0; i < 4; ++i) {
+            e.setBody(i, [&e, &fired, i] {
+                sim::Processor& p = e.proc(i);
+                // Stagger work so workers reach schedule() at
+                // different host moments, all targeting cycle 150
+                // (inside the next quantum, while fibers still run).
+                p.charge(10 * (4 - i) + 1);
+                e.schedule(150, [&fired, i] { fired.push_back(i); });
+                e.schedule(150,
+                           [&fired, i] { fired.push_back(i + 100); });
+                p.charge(300);
+            });
+        }
+        e.run();
+        return fired;
+    };
+    std::vector<int> seq = order(1);
+    EXPECT_EQ(seq, (std::vector<int>{0, 100, 1, 101, 2, 102, 3, 103}));
+    EXPECT_EQ(order(2), seq);
+    EXPECT_EQ(order(4), seq);
+}
+
+TEST(ParallelEngine, DeadlockDetectedUnderThreadedScheduler)
+{
+    sim::Engine e(4);
+    e.setHostThreads(4);
+    e.setBody(0,
+              [&e] { e.proc(0).blockFor(sim::CostKind::Barrier); });
+    for (NodeId i = 1; i < 4; ++i)
+        e.setBody(i, [&e, i] { e.proc(i).charge(25); });
+    EXPECT_THROW(e.run(), std::runtime_error);
+}
+
+TEST(ParallelEngine, ThreadCountCappedAndSequentialForOneProc)
+{
+    sim::Engine e(1);
+    e.setHostThreads(8); // more workers than processors
+    e.setBody(0, [&e] { e.proc(0).charge(1234); });
+    e.run();
+    EXPECT_EQ(e.elapsed(), 1234u);
+}
