@@ -15,28 +15,45 @@
  *   --metrics=FILE    write the machine-readable metrics manifest
  *   --host-threads=N  host worker threads for the quantum loop
  *                     (results are bit-identical for every N)
+ *   --check-shapes    check measured ratios against the golden-shape
+ *                     bands and exit nonzero on drift
+ *   --shapes=FILE     golden-shape file (default
+ *                     bench/golden_shapes.json)
  *
- * Drivers feed each run into the ArtifactWriter returned by
- * artifacts(): attach() before running, addRun() after collecting the
- * report, write() once at the end.
+ * Numeric flags are validated strictly: junk or out-of-range values
+ * exit with status 2 and a diagnostic instead of silently running a
+ * 0-processor machine. Drivers feed each run into the ArtifactWriter
+ * returned by artifacts(): attach() before running, addRun() after
+ * collecting the report, write() once at the end. Shape-checking
+ * drivers obtain a gate via shapeGate(), record() their ratios, and
+ * return finishShapes() from main.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <string>
 
+#include "audit/shapes.hh"
 #include "core/config.hh"
 #include "core/metrics.hh"
+#include "core/parse.hh"
 #include "core/report.hh"
 
 namespace wwt::bench
 {
+
+/** Sanity bounds for the machine-size flags. */
+constexpr std::size_t kMaxProcs = 4096;
+constexpr std::size_t kMaxHostThreads = 256;
 
 /** Command-line options shared by all benches. */
 struct Options {
     bool small = false;
     std::size_t procs = 32;
     std::size_t hostThreads = 1; ///< --host-threads=N (1 = sequential)
+    bool checkShapes = false;    ///< --check-shapes
+    std::string shapesFile = "bench/golden_shapes.json"; ///< --shapes=FILE
     std::string traceFile;   ///< --trace=FILE (empty = off)
     std::string metricsFile; ///< --metrics=FILE (empty = off)
 };
@@ -67,20 +84,56 @@ parseArgs(int argc, char** argv)
     for (int i = 1; i < argc; ++i) {
         std::string v;
         if (flagValue(argc, argv, i, "--trace", o.traceFile) ||
-            flagValue(argc, argv, i, "--metrics", o.metricsFile))
+            flagValue(argc, argv, i, "--metrics", o.metricsFile) ||
+            flagValue(argc, argv, i, "--shapes", o.shapesFile))
             continue;
         if (flagValue(argc, argv, i, "--host-threads", v)) {
-            o.hostThreads = static_cast<std::size_t>(std::atol(v.c_str()));
-            if (o.hostThreads == 0)
-                o.hostThreads = 1;
+            o.hostThreads = static_cast<std::size_t>(
+                core::requireCount("--host-threads", v, 1,
+                                   kMaxHostThreads));
+            continue;
+        }
+        if (flagValue(argc, argv, i, "--procs", v)) {
+            o.procs = static_cast<std::size_t>(
+                core::requireCount("--procs", v, 1, kMaxProcs));
             continue;
         }
         if (std::strcmp(argv[i], "--small") == 0)
             o.small = true;
-        else if (std::strcmp(argv[i], "--procs") == 0 && i + 1 < argc)
-            o.procs = static_cast<std::size_t>(std::atol(argv[++i]));
+        else if (std::strcmp(argv[i], "--check-shapes") == 0)
+            o.checkShapes = true;
+        else {
+            std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+            std::exit(2);
+        }
     }
     return o;
+}
+
+/**
+ * The golden-shape gate for @p section: loaded from the golden file
+ * when --check-shapes was passed (profile "smoke" under --small,
+ * "paper" otherwise), disabled no-op gate when it wasn't.
+ */
+inline audit::ShapeGate
+shapeGate(const Options& o, const std::string& section)
+{
+    if (!o.checkShapes)
+        return audit::ShapeGate{};
+    return audit::ShapeGate::fromFile(
+        o.shapesFile, o.small ? "smoke" : "paper", section);
+}
+
+/**
+ * Print the gate's verdicts and convert them to an exit status:
+ * 0 when disabled or all bands hold, 1 on any violation.
+ */
+inline int
+finishShapes(const audit::ShapeGate& gate)
+{
+    if (!gate.enabled())
+        return 0;
+    return gate.finish(std::cout) == 0 ? 0 : 1;
 }
 
 /** The artifact collector configured by --trace/--metrics. */

@@ -77,5 +77,14 @@ main(int argc, char** argv)
     printPair("MSE", mp_rep, sm_rep);
     note("Paper: MP at 98% of SM; computation >= 82% on both.");
     art.write();
-    return 0;
+
+    audit::ShapeGate gate = shapeGate(o, "mse");
+    gate.record("mp_over_sm", rel_mp);
+    gate.record("mp_comp_share",
+                mp_rep.cycles(stats::Category::Computation) /
+                    mp_rep.totalCycles());
+    gate.record("sm_comp_share",
+                sm_rep.cycles(stats::Category::Computation) /
+                    sm_rep.totalCycles());
+    return finishShapes(gate);
 }

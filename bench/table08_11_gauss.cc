@@ -78,5 +78,19 @@ main(int argc, char** argv)
     std::printf("SM directory queueing delay: %.1fK cycles total\n",
                 smm.protocol().queueDelay() / 1e3);
     art.write();
-    return 0;
+
+    audit::ShapeGate gate = shapeGate(o, "gauss");
+    gate.record("mp_over_sm", rel);
+    gate.record("mp_collectives_share",
+                (mp_rep.cycles(stats::Category::LibComp, 1) +
+                 mp_rep.cycles(stats::Category::LibMiss, 1) +
+                 mp_rep.cycles(stats::Category::NetAccess, 1)) /
+                    mp_rep.totalCycles(1));
+    gate.record("sm_reduction_share",
+                sm_rep.cycles(stats::Category::Reduction, 1) /
+                    sm_rep.totalCycles(1));
+    gate.record("sm_barrier_share",
+                sm_rep.cycles(stats::Category::Barrier, 1) /
+                    sm_rep.totalCycles(1));
+    return finishShapes(gate);
 }

@@ -76,5 +76,16 @@ main(int argc, char** argv)
     note("Paper: EM3D-MP at 50% of EM3D-SM (the one decisive win for "
          "message passing).");
     art.write();
-    return 0;
+
+    audit::ShapeGate gate = shapeGate(o, "em3d");
+    gate.record("mp_over_sm",
+                mp_rep.totalCycles() / sm_rep.totalCycles());
+    double sm_main = sm_rep.totalCycles(1);
+    gate.record("sm_main_data_access_share",
+                (sm_rep.cycles(stats::Category::LocalMiss, 1) +
+                 sm_rep.cycles(stats::Category::SharedMiss, 1) +
+                 sm_rep.cycles(stats::Category::WriteFault, 1) +
+                 sm_rep.cycles(stats::Category::TlbMiss, 1)) /
+                    sm_main);
+    return finishShapes(gate);
 }

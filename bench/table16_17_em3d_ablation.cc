@@ -19,7 +19,7 @@ using namespace wwt::bench;
 namespace
 {
 
-void
+core::MachineReport
 runVariant(const char* title, const core::MachineConfig& cfg,
            const apps::Em3dParams& p, core::ArtifactWriter& art,
            const char* run_name)
@@ -42,6 +42,17 @@ runVariant(const char* title, const core::MachineConfig& cfg,
                     std::max<std::uint64_t>(
                         1, c.sharedMissLocal + c.sharedMissRemote),
                 rep.perProc(c.writeFaults));
+    return rep;
+}
+
+/** Fraction of main-loop shared misses whose home is remote. */
+double
+remoteMissShare(const core::MachineReport& rep)
+{
+    auto c = rep.counts(1);
+    return static_cast<double>(c.sharedMissRemote) /
+           std::max<std::uint64_t>(1, c.sharedMissLocal +
+                                          c.sharedMissRemote);
 }
 
 } // namespace
@@ -60,21 +71,33 @@ main(int argc, char** argv)
 
     core::MachineConfig base = paperConfig(o);
     core::ArtifactWriter art = artifacts(o);
-    runVariant("EM3D-SM baseline (256 KB cache, round-robin)", base, p,
-               art, "em3d-sm-baseline");
+    auto base_rep =
+        runVariant("EM3D-SM baseline (256 KB cache, round-robin)", base,
+                   p, art, "em3d-sm-baseline");
 
     core::MachineConfig big = base;
     big.cache.bytes = 1024 * 1024;
-    runVariant("Table 16: EM3D-SM with a 1 MB cache", big, p, art,
-               "em3d-sm-1mb-cache");
+    auto big_rep = runVariant("Table 16: EM3D-SM with a 1 MB cache",
+                              big, p, art, "em3d-sm-1mb-cache");
 
     core::MachineConfig local = base;
     local.allocPolicy = mem::AllocPolicy::Local;
-    runVariant("Table 17: EM3D-SM with local allocation", local, p,
-               art, "em3d-sm-local-alloc");
+    auto local_rep =
+        runVariant("Table 17: EM3D-SM with local allocation", local, p,
+                   art, "em3d-sm-local-alloc");
 
     note("Paper: main loop 130.0M baseline; 61.0M with 1 MB cache; "
          "86.3M with local allocation (remote misses 97% -> 10%).");
     art.write();
-    return 0;
+
+    audit::ShapeGate gate = shapeGate(o, "em3d_ablation");
+    gate.record("big_cache_over_baseline",
+                big_rep.totalCycles(1) / base_rep.totalCycles(1));
+    gate.record("local_alloc_over_baseline",
+                local_rep.totalCycles(1) / base_rep.totalCycles(1));
+    gate.record("baseline_remote_miss_share",
+                remoteMissShare(base_rep));
+    gate.record("local_alloc_remote_miss_share",
+                remoteMissShare(local_rep));
+    return finishShapes(gate);
 }

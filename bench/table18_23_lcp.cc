@@ -122,5 +122,18 @@ main(int argc, char** argv)
     note("Paper: sync MP at 86% of SM; async variants take fewer "
          "steps, move ~4x the data, and run slower overall.");
     art.write();
-    return 0;
+
+    audit::ShapeGate gate = shapeGate(o, "lcp");
+    gate.record("sync_mp_over_sm", reps[0][0].totalCycles(1) /
+                                       reps[0][1].totalCycles(1));
+    gate.record("async_mp_over_sm", reps[1][0].totalCycles(1) /
+                                        reps[1][1].totalCycles(1));
+    stats::Counts sync_c = reps[0][0].counts(1);
+    stats::Counts async_c = reps[1][0].counts(1);
+    gate.record("mp_async_over_sync_bytes",
+                static_cast<double>(async_c.bytesData +
+                                    async_c.bytesCtrl) /
+                    static_cast<double>(sync_c.bytesData +
+                                        sync_c.bytesCtrl));
+    return finishShapes(gate);
 }

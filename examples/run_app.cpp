@@ -28,6 +28,7 @@
 #include "apps/lcp.hh"
 #include "apps/mse.hh"
 #include "core/metrics.hh"
+#include "core/parse.hh"
 #include "core/report.hh"
 
 using namespace wwt;
@@ -75,34 +76,42 @@ parse(int argc, char** argv, Cli& c)
             const char* v = next("--procs");
             if (!v)
                 return false;
-            c.procs = std::strtoul(v, nullptr, 10);
+            c.procs = static_cast<std::size_t>(
+                core::requireCount("--procs", v, 1, 4096));
         } else if (!std::strcmp(argv[i], "--size")) {
             const char* v = next("--size");
             if (!v)
                 return false;
-            c.size = std::strtoul(v, nullptr, 10);
+            c.size = static_cast<std::size_t>(
+                core::requireCount("--size", v, 0, 1u << 30));
         } else if (!std::strcmp(argv[i], "--iters")) {
             const char* v = next("--iters");
             if (!v)
                 return false;
-            c.iters = std::strtoul(v, nullptr, 10);
+            c.iters = static_cast<std::size_t>(
+                core::requireCount("--iters", v, 0, 1u << 30));
         } else if (!std::strcmp(argv[i], "--cache-kb")) {
             const char* v = next("--cache-kb");
             if (!v)
                 return false;
-            c.cacheKb = std::strtoul(v, nullptr, 10);
+            c.cacheKb = static_cast<std::size_t>(
+                core::requireCount("--cache-kb", v, 1, 1u << 20));
         } else if (!std::strcmp(argv[i], "--host-threads")) {
             const char* v = next("--host-threads");
             if (!v)
                 return false;
-            c.hostThreads = std::strtoul(v, nullptr, 10);
+            c.hostThreads = static_cast<std::size_t>(
+                core::requireCount("--host-threads", v, 1, 256));
         } else if (!std::strncmp(argv[i], "--host-threads=", 15)) {
-            c.hostThreads = std::strtoul(argv[i] + 15, nullptr, 10);
+            c.hostThreads = static_cast<std::size_t>(
+                core::requireCount("--host-threads", argv[i] + 15, 1,
+                                   256));
         } else if (!std::strcmp(argv[i], "--net-gap")) {
             const char* v = next("--net-gap");
             if (!v)
                 return false;
-            c.netGap = std::strtoul(v, nullptr, 10);
+            c.netGap = static_cast<Cycle>(
+                core::requireCount("--net-gap", v, 0, 1u << 20));
         } else if (!std::strcmp(argv[i], "--tree")) {
             const char* v = next("--tree");
             if (!v)

@@ -1,0 +1,37 @@
+#include "audit/audit.hh"
+
+#include "audit/check.hh"
+#include "stats/proc_stats.hh"
+
+namespace wwt::audit
+{
+
+void
+checkCycleConservation(const sim::Engine& engine)
+{
+    for (NodeId i = 0; i < engine.numProcs(); ++i) {
+        const sim::Processor& p = engine.proc(i);
+        const stats::ProcStats& ps = p.stats();
+        std::uint64_t charged_total = 0;
+        for (std::size_t ph = 0; ph < ps.numPhases(); ++ph) {
+            const stats::PhaseStats& s = ps.phase(ph);
+            std::uint64_t cat_sum = 0;
+            for (std::uint64_t c : s.cycles)
+                cat_sum += c;
+            WWT_AUDIT(cat_sum == s.charged,
+                      "proc " << i << " phase " << ph
+                              << ": category sum " << cat_sum
+                              << " != charged " << s.charged
+                              << " (a category total was mutated "
+                                 "outside ProcStats::addCycles)");
+            charged_total += s.charged;
+        }
+        WWT_AUDIT(charged_total == p.now(),
+                  "proc " << i << ": charged " << charged_total
+                          << " cycles but the clock is at " << p.now()
+                          << " (time moved without being attributed "
+                             "to a category)");
+    }
+}
+
+} // namespace wwt::audit

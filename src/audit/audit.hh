@@ -1,0 +1,38 @@
+#pragma once
+
+/**
+ * @file
+ * Engine-level accounting audits.
+ *
+ * Every entry of the paper's Tables 4-23 is a partition of total time
+ * into categories; these checks make that partition a machine-checked
+ * invariant instead of a convention:
+ *
+ *  - Cycle conservation: each processor's per-category cycles sum
+ *    exactly to the redundant per-phase charge counter maintained by
+ *    ProcStats::addCycles, and the sum across phases equals the
+ *    processor's clock. A category total that was corrupted (or
+ *    mutated outside addCycles) breaks the first equation; a clock
+ *    moved without a matching charge breaks the second.
+ *
+ * Machine-specific conservation sweeps (directory/cache coherence,
+ * packet and byte conservation) live with the machines themselves —
+ * see DirProtocol::auditConsistency and MpMachine::audit — and are
+ * registered on the engine via Engine::addAudit, which runs them at
+ * the end of every run. collectReport() re-runs them at report time,
+ * so any driver that prints a table has audited what it prints.
+ */
+
+#include "sim/engine.hh"
+
+namespace wwt::audit
+{
+
+/**
+ * Check cycle conservation for every processor of @p engine.
+ * @throws AuditError naming the processor, phase and category sums on
+ *         the first violation.
+ */
+void checkCycleConservation(const sim::Engine& engine);
+
+} // namespace wwt::audit

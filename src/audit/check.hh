@@ -1,0 +1,89 @@
+#pragma once
+
+/**
+ * @file
+ * The always-compiled audit check macro.
+ *
+ * The paper's credibility rests on its cycle accounting being a true
+ * partition of total time, so accounting and protocol invariants must
+ * fail loudly in every build type. `assert` vanishes under NDEBUG and
+ * carries no context; WWT_AUDIT is compiled unconditionally and
+ * attaches simulation context (processor, address, cycle) to the
+ * failure. A failed check throws audit::AuditError, which CTest, the
+ * benches and CI all surface as a nonzero exit.
+ *
+ * Checks are meant for event-site and boundary use: the cost of a
+ * passing check is one predicted branch (the message is only built on
+ * failure), so they stay within the audit subsystem's <= 5% overhead
+ * budget even on the hottest runs.
+ *
+ * This header is intentionally self-contained (no link-time
+ * dependency) so every layer — the engine, the event queue, the
+ * protocol, the network interface — can use it without growing the
+ * library graph.
+ */
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace wwt::audit
+{
+
+/** A violated simulation invariant. */
+class AuditError : public std::logic_error
+{
+  public:
+    explicit AuditError(const std::string& what)
+        : std::logic_error(what)
+    {
+    }
+};
+
+/** Cold path: format and throw. Never returns. */
+[[noreturn]] inline void
+fail(const char* expr, const char* file, int line,
+     const std::string& context)
+{
+    std::ostringstream os;
+    os << "audit check failed: " << expr << "\n  at " << file << ":"
+       << line;
+    if (!context.empty())
+        os << "\n  context: " << context;
+    throw AuditError(os.str());
+}
+
+/** Streamable message builder used by the macro's failure path. */
+class Msg
+{
+  public:
+    template <typename T>
+    Msg&
+    operator<<(const T& v)
+    {
+        os_ << v;
+        return *this;
+    }
+
+    std::string str() const { return os_.str(); }
+
+  private:
+    std::ostringstream os_;
+};
+
+} // namespace wwt::audit
+
+/**
+ * Check an invariant in every build type. @p msg is a `<<`-chain
+ * evaluated only when the check fails:
+ *
+ *   WWT_AUDIT(e.busy, "home=" << home << " block=0x" << std::hex
+ *                             << block << " cycle=" << std::dec << at);
+ */
+#define WWT_AUDIT(cond, msg)                                              \
+    do {                                                                  \
+        if (!(cond)) [[unlikely]] {                                       \
+            ::wwt::audit::fail(#cond, __FILE__, __LINE__,                 \
+                               (::wwt::audit::Msg{} << msg).str());       \
+        }                                                                 \
+    } while (0)

@@ -1,0 +1,364 @@
+#include "audit/shapes.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wwt::audit
+{
+
+// --------------------------------------------------------------------
+// JSON parsing
+// --------------------------------------------------------------------
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string& text) : t_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos_ != t_.size())
+            err("trailing characters after the document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    err(const std::string& what) const
+    {
+        throw std::runtime_error("JSON parse error at offset " +
+                                 std::to_string(pos_) + ": " + what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < t_.size() &&
+               (t_[pos_] == ' ' || t_[pos_] == '\t' ||
+                t_[pos_] == '\n' || t_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= t_.size())
+            err("unexpected end of input");
+        return t_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            err(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeWord(const char* w)
+    {
+        std::size_t len = std::strlen(w);
+        if (t_.compare(pos_, len, w) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    JsonValue
+    value()
+    {
+        char c = peek();
+        switch (c) {
+          case '{': return object();
+          case '[': return array();
+          case '"': {
+              JsonValue v;
+              v.kind = JsonValue::Kind::String;
+              v.string = string();
+              return v;
+          }
+          case 't':
+          case 'f': {
+              JsonValue v;
+              v.kind = JsonValue::Kind::Bool;
+              if (consumeWord("true"))
+                  v.boolean = true;
+              else if (consumeWord("false"))
+                  v.boolean = false;
+              else
+                  err("invalid literal");
+              return v;
+          }
+          case 'n': {
+              if (!consumeWord("null"))
+                  err("invalid literal");
+              return JsonValue{};
+          }
+          default: return number();
+        }
+    }
+
+    JsonValue
+    object()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            if (peek() != '"')
+                err("expected a member name");
+            std::string key = string();
+            expect(':');
+            v.object.emplace_back(std::move(key), value());
+            char c = peek();
+            ++pos_;
+            if (c == '}')
+                return v;
+            if (c != ',')
+                err("expected ',' or '}'");
+        }
+    }
+
+    JsonValue
+    array()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.array.push_back(value());
+            char c = peek();
+            ++pos_;
+            if (c == ']')
+                return v;
+            if (c != ',')
+                err("expected ',' or ']'");
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < t_.size() && t_[pos_] != '"') {
+            char c = t_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= t_.size())
+                err("unterminated escape");
+            char e = t_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              default: err("unsupported escape"); // \uXXXX not needed
+            }
+        }
+        if (pos_ >= t_.size())
+            err("unterminated string");
+        ++pos_; // closing quote
+        return out;
+    }
+
+    JsonValue
+    number()
+    {
+        std::size_t start = pos_;
+        if (pos_ < t_.size() && t_[pos_] == '-')
+            ++pos_;
+        while (pos_ < t_.size() &&
+               (std::isdigit(static_cast<unsigned char>(t_[pos_])) ||
+                t_[pos_] == '.' || t_[pos_] == 'e' || t_[pos_] == 'E' ||
+                t_[pos_] == '+' || t_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start)
+            err("expected a value");
+        std::string tok = t_.substr(start, pos_ - start);
+        char* end = nullptr;
+        double d = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size())
+            err("malformed number '" + tok + "'");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.number = d;
+        return v;
+    }
+
+    const std::string& t_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+const JsonValue*
+JsonValue::find(const std::string& key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto& [k, v] : object) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+JsonValue
+parseJson(const std::string& text)
+{
+    return Parser(text).parse();
+}
+
+// --------------------------------------------------------------------
+// ShapeGate
+// --------------------------------------------------------------------
+
+ShapeGate
+ShapeGate::fromFile(const std::string& path, const std::string& profile,
+                    const std::string& section)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open golden shapes file: " +
+                                 path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    JsonValue doc = parseJson(buf.str());
+
+    const JsonValue* profiles = doc.find("profiles");
+    if (!profiles)
+        throw std::runtime_error(path + ": no \"profiles\" object");
+    const JsonValue* prof = profiles->find(profile);
+    if (!prof)
+        throw std::runtime_error(path + ": no profile \"" + profile +
+                                 "\"");
+    const JsonValue* sect = prof->find(section);
+    if (!sect)
+        throw std::runtime_error(path + ": profile \"" + profile +
+                                 "\" has no section \"" + section +
+                                 "\"");
+
+    ShapeGate g;
+    g.enabled_ = true;
+    g.label_ = profile + "/" + section;
+    for (const auto& [key, band] : sect->object) {
+        const JsonValue* lo = band.find("lo");
+        const JsonValue* hi = band.find("hi");
+        if (!lo || !hi || lo->kind != JsonValue::Kind::Number ||
+            hi->kind != JsonValue::Kind::Number) {
+            throw std::runtime_error(path + ": band \"" + key +
+                                     "\" needs numeric lo/hi");
+        }
+        g.bands_.emplace_back(key,
+                              std::make_pair(lo->number, hi->number));
+    }
+    return g;
+}
+
+ShapeGate
+ShapeGate::fromBands(
+    std::string label,
+    std::vector<std::pair<std::string, std::pair<double, double>>> bands)
+{
+    ShapeGate g;
+    g.enabled_ = true;
+    g.label_ = std::move(label);
+    g.bands_ = std::move(bands);
+    return g;
+}
+
+void
+ShapeGate::record(const std::string& key, double value)
+{
+    if (enabled_)
+        recorded_.emplace_back(key, value);
+}
+
+int
+ShapeGate::finish(std::ostream& os) const
+{
+    if (!enabled_)
+        return 0;
+    int violations = 0;
+    os << "shape check [" << label_ << "]\n";
+    for (const auto& [key, value] : recorded_) {
+        const std::pair<double, double>* band = nullptr;
+        for (const auto& [k, b] : bands_) {
+            if (k == key) {
+                band = &b;
+                break;
+            }
+        }
+        char line[160];
+        if (!band) {
+            std::snprintf(line, sizeof(line),
+                          "  FAIL %-40s %10.4f  (no golden band; "
+                          "regenerate bench/golden_shapes.json)\n",
+                          key.c_str(), value);
+            ++violations;
+        } else {
+            bool ok = value >= band->first && value <= band->second;
+            std::snprintf(line, sizeof(line),
+                          "  %s %-40s %10.4f  band [%.4f, %.4f]\n",
+                          ok ? "ok  " : "FAIL", key.c_str(), value,
+                          band->first, band->second);
+            if (!ok)
+                ++violations;
+        }
+        os << line;
+    }
+    for (const auto& [key, band] : bands_) {
+        bool seen = false;
+        for (const auto& [k, v] : recorded_) {
+            if (k == key) {
+                seen = true;
+                break;
+            }
+        }
+        if (!seen) {
+            char line[160];
+            std::snprintf(line, sizeof(line),
+                          "  FAIL %-40s   (never measured; band "
+                          "[%.4f, %.4f])\n",
+                          key.c_str(), band.first, band.second);
+            os << line;
+            ++violations;
+        }
+    }
+    os << (violations == 0 ? "shape check PASSED\n"
+                           : "shape check FAILED\n");
+    return violations;
+}
+
+} // namespace wwt::audit

@@ -1,0 +1,116 @@
+#pragma once
+
+/**
+ * @file
+ * The golden-shapes gate.
+ *
+ * EXPERIMENTS.md records the paper's *shapes* — who wins, by what
+ * rough factor, which categories dominate — but until now a human had
+ * to re-check the "shape holds?" columns by eye. bench/golden_shapes.json
+ * encodes those shapes as named values with tolerance bands, and every
+ * table bench grows a `--check-shapes` mode that records its measured
+ * ratios into a ShapeGate and exits nonzero on drift, so CI can gate
+ * merges on the reproduction staying a reproduction.
+ *
+ * The golden file has one band set per profile ("paper" for full-scale
+ * runs, "smoke" for `--small`), keyed by bench section:
+ *
+ *   {"schema": "wwtcmp.shapes/1",
+ *    "profiles": {
+ *      "paper": {
+ *        "em3d": {"mp_over_sm": {"lo": 0.25, "hi": 0.55}, ...},
+ *        ...},
+ *      "smoke": {...}}}
+ *
+ * The gate is strict in both directions: a recorded value without a
+ * band fails (the golden file is stale), and a band that is never
+ * recorded fails (a measurement silently disappeared).
+ *
+ * The JSON reader is a deliberately small recursive-descent parser —
+ * just enough for the golden file and the audit tests; it accepts
+ * standard JSON and rejects everything else.
+ */
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wwt::audit
+{
+
+/** A parsed JSON value (small, ordered, audit-internal). */
+struct JsonValue {
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    /** Object members in file order (deterministic reporting). */
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue* find(const std::string& key) const;
+};
+
+/**
+ * Parse a complete JSON document.
+ * @throws std::runtime_error with offset context on malformed input.
+ */
+JsonValue parseJson(const std::string& text);
+
+/** One measured value checked against its golden band. */
+struct ShapeResult {
+    std::string key;
+    double value = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    bool hasBand = false; ///< a band existed for this key
+    bool ok = false;
+};
+
+/** Records measured shape values and checks them against bands. */
+class ShapeGate
+{
+  public:
+    /** A disabled gate: record() ignores, finish() passes. */
+    ShapeGate() = default;
+
+    /**
+     * Load the bands of @p section under @p profile from the golden
+     * file at @p path.
+     * @throws std::runtime_error if the file is unreadable, malformed,
+     *         or lacks the profile/section.
+     */
+    static ShapeGate fromFile(const std::string& path,
+                              const std::string& profile,
+                              const std::string& section);
+
+    /** Build a gate directly from band tuples (tests). */
+    static ShapeGate
+    fromBands(std::string label,
+              std::vector<std::pair<std::string, std::pair<double, double>>>
+                  bands);
+
+    bool enabled() const { return enabled_; }
+
+    /** Record a measured value for @p key (no-op when disabled). */
+    void record(const std::string& key, double value);
+
+    /**
+     * Print one verdict line per key (and per missing band) to @p os.
+     * @return the number of violations: out-of-band values, values
+     *         without a band, and bands never recorded. 0 == pass.
+     */
+    int finish(std::ostream& os) const;
+
+  private:
+    bool enabled_ = false;
+    std::string label_; ///< "<profile>/<section>" for messages
+    std::vector<std::pair<std::string, std::pair<double, double>>> bands_;
+    std::vector<std::pair<std::string, double>> recorded_;
+};
+
+} // namespace wwt::audit

@@ -1,0 +1,76 @@
+#pragma once
+
+/**
+ * @file
+ * Strict command-line number parsing shared by the bench drivers and
+ * example runners.
+ *
+ * The previous atol/strtoul-based parsing accepted junk silently:
+ * `--procs abc` became 0 processors (a machine that runs nothing) and
+ * `--procs -1` wrapped to SIZE_MAX (an allocation that never
+ * completes). parseCount() accepts only a full decimal number and
+ * reports failure; requireCount() layers the range check and the
+ * user-facing diagnostic on top and exits with status 2 (the
+ * conventional usage-error status) on bad input.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace wwt::core
+{
+
+/**
+ * Parse @p text as a non-negative decimal integer. The whole string
+ * must be digits (no sign, no suffix, no whitespace, not empty).
+ * @return true and set @p out on success; false on junk or overflow.
+ */
+inline bool
+parseCount(std::string_view text, std::uint64_t& out)
+{
+    if (text.empty())
+        return false;
+    std::uint64_t v = 0;
+    for (char ch : text) {
+        if (ch < '0' || ch > '9')
+            return false;
+        unsigned digit = static_cast<unsigned>(ch - '0');
+        if (v > (UINT64_MAX - digit) / 10)
+            return false; // overflow
+        v = v * 10 + digit;
+    }
+    out = v;
+    return true;
+}
+
+/**
+ * Parse the value of @p flag as a count in [@p min, @p max], printing
+ * a clear diagnostic and exiting with status 2 on junk or
+ * out-of-range input. Never returns 0 unless @p min is 0.
+ */
+inline std::uint64_t
+requireCount(const char* flag, std::string_view value, std::uint64_t min,
+             std::uint64_t max)
+{
+    std::uint64_t v = 0;
+    if (!parseCount(value, v)) {
+        std::fprintf(stderr,
+                     "error: %s expects a non-negative integer, got "
+                     "'%.*s'\n",
+                     flag, static_cast<int>(value.size()), value.data());
+        std::exit(2);
+    }
+    if (v < min || v > max) {
+        std::fprintf(stderr,
+                     "error: %s must be between %llu and %llu, got %llu\n",
+                     flag, static_cast<unsigned long long>(min),
+                     static_cast<unsigned long long>(max),
+                     static_cast<unsigned long long>(v));
+        std::exit(2);
+    }
+    return v;
+}
+
+} // namespace wwt::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "audit/audit.hh"
 #include "stats/table.hh"
 
 namespace wwt::core
@@ -44,6 +45,13 @@ MachineReport::counts(int phase) const
 MachineReport
 collectReport(sim::Engine& engine, std::vector<std::string> phase_names)
 {
+    // The numbers below feed the paper tables; refuse to report from a
+    // simulation whose invariants don't hold. Machine sweeps were
+    // registered via Engine::addAudit; cycle conservation is checked
+    // here too so engines without a machine wrapper are still covered.
+    engine.runAudits();
+    audit::checkCycleConservation(engine);
+
     MachineReport rep;
     rep.nprocs = engine.numProcs();
     rep.elapsed = engine.elapsed();

@@ -84,6 +84,20 @@ class MpMachine
     /** Run the SPMD @p body on every node to completion. */
     void run(std::function<void(Node&)> body);
 
+    /**
+     * Run this machine's audit sweep now: cycle conservation over
+     * every processor, byte conservation at the network interface
+     * (bytesData + bytesCtrl == packetsSent * 20 — every packet is
+     * exactly 20 bytes on the wire), packet conservation (every sent
+     * packet lands in exactly one receive FIFO once the calendar
+     * drains, and is consumed at most once), and the absence of
+     * shared-memory protocol counts on a message-passing machine. The
+     * constructor also registers it with the engine, so it runs
+     * automatically at the end of run() and at report time.
+     * @throws audit::AuditError on the first violated invariant.
+     */
+    void audit() const;
+
   private:
     core::MachineConfig cfg_;
     sim::Engine engine_;

@@ -1,6 +1,6 @@
 #include "mp/ni.hh"
 
-#include <cassert>
+#include "audit/check.hh"
 
 namespace wwt::mp
 {
@@ -10,8 +10,14 @@ NetIface::send(NodeId dest, std::uint32_t tag,
                const std::array<std::uint32_t, core::kMpPacketWords>& words,
                unsigned data_bytes)
 {
-    assert(peers_ && "NetIface not wired to a machine");
-    assert(data_bytes <= core::kMpPacketBytes);
+    WWT_AUDIT(peers_ != nullptr,
+              "NetIface not wired to a machine: proc " << p_.id()
+                  << " send at cycle " << p_.now());
+    WWT_AUDIT(data_bytes <= core::kMpPacketBytes,
+              "packet payload exceeds the wire format: proc "
+                  << p_.id() << " claims " << data_bytes
+                  << " data bytes in a " << core::kMpPacketBytes
+                  << "-byte packet at cycle " << p_.now());
 
     // Stores into the memory-mapped interface: tag + destination,
     // then the five payload words.
@@ -21,6 +27,7 @@ NetIface::send(NodeId dest, std::uint32_t tag,
     counts.packetsSent++;
     counts.bytesData += data_bytes;
     counts.bytesCtrl += core::kMpPacketBytes - data_bytes;
+    sentPkts_++;
 
     Packet pkt;
     pkt.src = p_.id();
@@ -45,6 +52,7 @@ NetIface::send(NodeId dest, std::uint32_t tag,
 void
 NetIface::enqueue(const Packet& pkt)
 {
+    enqueuedPkts_++;
     inq_.push_back(pkt);
     if (waiting_) {
         waiting_ = false;
@@ -80,8 +88,12 @@ NetIface::recvPending()
 Packet
 NetIface::receive()
 {
-    assert(peekPending() && "receive() without a pending packet");
+    WWT_AUDIT(peekPending(),
+              "receive() without a pending packet: proc " << p_.id()
+                  << " at cycle " << p_.now() << " (queue depth "
+                  << inq_.size() << ")");
     p_.advance(sim::CostKind::Net, cfg_.niRecvWords);
+    consumedPkts_++;
     Packet pkt = inq_.front();
     inq_.pop_front();
     if (pkt.traceId != 0) {

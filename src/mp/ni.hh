@@ -89,6 +89,15 @@ class NetIface
 
     std::size_t queueDepth() const { return inq_.size(); }
 
+    // Conservation counters for the audit subsystem: every packet is
+    // injected (sent), lands in exactly one receive FIFO (enqueued),
+    // and is pulled out at most once (consumed). The machine sweep
+    // checks sent == enqueued machine-wide once the calendar drains,
+    // and consumed + queued == enqueued per node at any time.
+    std::uint64_t sentPkts() const { return sentPkts_; }
+    std::uint64_t enqueuedPkts() const { return enqueuedPkts_; }
+    std::uint64_t consumedPkts() const { return consumedPkts_; }
+
   private:
     void enqueue(const Packet& pkt);
 
@@ -98,6 +107,9 @@ class NetIface
     std::vector<NetIface*>* peers_ = nullptr;
     std::deque<Packet> inq_;
     bool waiting_ = false; ///< processor blocked in waitPacket()
+    std::uint64_t sentPkts_ = 0;
+    std::uint64_t enqueuedPkts_ = 0;
+    std::uint64_t consumedPkts_ = 0;
 };
 
 } // namespace wwt::mp

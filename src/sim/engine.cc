@@ -1,5 +1,7 @@
 #include "sim/engine.hh"
 
+#include "audit/check.hh"
+
 #include <barrier>
 #include <sstream>
 #include <stdexcept>
@@ -206,6 +208,19 @@ Engine::setBody(NodeId id, Processor::Body body)
     procs_.at(id)->setBody(std::move(body));
 }
 
+void
+Engine::addAudit(std::function<void()> fn)
+{
+    audits_.push_back(std::move(fn));
+}
+
+void
+Engine::runAudits() const
+{
+    for (const auto& fn : audits_)
+        fn();
+}
+
 bool
 Engine::allFinished() const
 {
@@ -281,6 +296,7 @@ Engine::run()
         runParallel();
     else
         runSequential();
+    runAudits();
 }
 
 void
@@ -301,6 +317,16 @@ Engine::runSequential()
             if (p->ready() && p->now() < qend) {
                 p->runUntil(qend);
                 ran = true;
+            }
+        }
+
+        if (ran) {
+            for (auto& p : procs_) {
+                WWT_AUDIT(!p->ready() || p->now() >= qend,
+                          "quantum boundary: proc "
+                              << p->id() << " is ready at cycle "
+                              << p->now() << " inside quantum ending at "
+                              << qend);
             }
         }
 
@@ -364,6 +390,24 @@ Engine::runParallel()
                 }
             }
 
+            // Every fiber must have reached the causality boundary (or
+            // blocked) before the merge touches shared state; a ready
+            // processor still inside the window means a worker dropped
+            // a slice or a serial continuation was lost.
+            for (auto& p : procs_) {
+                WWT_AUDIT(!p->ready() || p->now() >= qend,
+                          "quantum rendezvous: proc "
+                              << p->id() << " is ready at cycle "
+                              << p->now() << " inside quantum ending at "
+                              << qend);
+                WWT_AUDIT(!p->serialPending_,
+                          "quantum rendezvous: proc "
+                              << p->id()
+                              << " still paused at a serial point after "
+                                 "the serial pass (quantum ending at "
+                              << qend << ")");
+            }
+
             // Phase 3 (merge, engine thread): drain the deferred
             // operations in (processor id, program order) — the
             // calendar insertion order of a sequential run, so event
@@ -375,6 +419,18 @@ Engine::runParallel()
                 for (auto& fn : p->deferred_)
                     fn();
                 p->deferred_.clear();
+            }
+
+            // Merged operations run in event/host context, so nothing
+            // may have re-queued onto a deferred list.
+            for (auto& p : procs_) {
+                WWT_AUDIT(p->deferred_.empty(),
+                          "quantum merge: proc "
+                              << p->id() << " re-queued "
+                              << p->deferred_.size()
+                              << " deferred operation(s) during the merge "
+                                 "pass (quantum ending at "
+                              << qend << ")");
             }
         }
 

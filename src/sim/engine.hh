@@ -116,6 +116,22 @@ class Engine
     /** Number of events executed so far (diagnostics). */
     std::uint64_t eventsExecuted() const { return events_.executed(); }
 
+    /** True when no events remain on the calendar. */
+    bool calendarDrained() const { return events_.empty(); }
+
+    /**
+     * Register an always-on audit check. Machines register their
+     * conservation sweeps (coherence consistency, packet and byte
+     * conservation, cycle conservation) here; the engine runs every
+     * registered check once at the end of run(), and collectReport()
+     * re-runs them at report time. A violated invariant throws
+     * audit::AuditError.
+     */
+    void addAudit(std::function<void()> fn);
+
+    /** Run every registered audit check now. */
+    void runAudits() const;
+
     /**
      * Attach a flight recorder to the engine and every processor.
      * Tracing is off by default; a disabled tracer costs one branch
@@ -148,6 +164,7 @@ class Engine
     EventQueue events_;
     std::vector<std::unique_ptr<Processor>> procs_;
     std::unique_ptr<trace::Tracer> tracer_;
+    std::vector<std::function<void()>> audits_;
 };
 
 } // namespace wwt::sim

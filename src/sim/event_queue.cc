@@ -1,5 +1,7 @@
 #include "sim/event_queue.hh"
 
+#include "audit/check.hh"
+
 #include <utility>
 
 namespace wwt::sim
@@ -21,10 +23,30 @@ std::size_t
 EventQueue::runUntil(Cycle limit)
 {
     std::size_t n = 0;
+    // Calendar monotonicity: within one drain, events must come out in
+    // strictly increasing (time, seq) order — the total order that
+    // makes same-timestamp tie-breaking (and thus parallel-host runs)
+    // deterministic. Across drains the clock may step back: an event
+    // handler or fiber can legally schedule into the current window
+    // (self-latency is below the quantum), and such stragglers execute
+    // on the next drain with their original timestamps.
+    Cycle lastTime = 0;
+    std::uint64_t lastSeq = 0;
+    bool first = true;
     while (!pq_.empty() && pq_.top().time < limit) {
+        const Item& top = pq_.top();
+        WWT_AUDIT(first || top.time > lastTime ||
+                      (top.time == lastTime && top.seq > lastSeq),
+                  "calendar ran backwards: popped event (cycle "
+                      << top.time << ", seq " << top.seq
+                      << ") after (cycle " << lastTime << ", seq "
+                      << lastSeq << ") in one drain");
+        lastTime = top.time;
+        lastSeq = top.seq;
+        first = false;
         // Move the callback out before popping so the event may
         // schedule further events without invalidating itself.
-        Callback cb = std::move(const_cast<Item&>(pq_.top()).cb);
+        Callback cb = std::move(const_cast<Item&>(top).cb);
         pq_.pop();
         cb();
         ++n;

@@ -1,6 +1,7 @@
 #include "sm/protocol.hh"
 
-#include <cassert>
+#include "audit/check.hh"
+
 #include <stdexcept>
 
 namespace wwt::sm
@@ -69,7 +70,10 @@ DirProtocol::atomic(sim::Processor& req, Addr addr, bool had_copy,
                     std::uint64_t expect, unsigned width,
                     sim::CostKind kind)
 {
-    assert(kind_a != AtomicKind::None);
+    WWT_AUDIT(kind_a != AtomicKind::None,
+              "atomic() without an operation: proc " << req.id()
+                  << " addr 0x" << std::hex << addr << std::dec
+                  << " at cycle " << req.now());
     Req r;
     r.req = req.id();
     r.write = true;
@@ -131,7 +135,10 @@ void
 DirProtocol::pushUpdate(sim::Processor& src, Addr addr,
                         std::size_t nbytes, NodeId dest)
 {
-    assert(dest != src.id());
+    WWT_AUDIT(dest != src.id(),
+              "pushUpdate to self: proc " << src.id() << " addr 0x"
+                  << std::hex << addr << std::dec << " at cycle "
+                  << src.now());
     Addr first = blockOf(addr);
     Addr last = blockOf(addr + nbytes - 1);
     std::size_t nblocks =
@@ -324,7 +331,9 @@ void
 DirProtocol::onFetchReply(NodeId home, Addr block, Cycle at)
 {
     DirEntry& e = dir_[block];
-    assert(e.busy);
+    WWT_AUDIT(e.busy, "fetch reply for an idle directory entry: home "
+                          << home << " block 0x" << std::hex << block
+                          << std::dec << " at cycle " << at);
     Req r = e.txn.r;
     Cycle start = std::max(at, dirBusy_[home]);
     Cycle done = start + cfg_.dirBase + cfg_.dirBlockRecv +
@@ -367,7 +376,11 @@ void
 DirProtocol::onAck(NodeId home, Addr block, Cycle at)
 {
     DirEntry& e = dir_[block];
-    assert(e.busy && e.txn.pendingAcks > 0);
+    WWT_AUDIT(e.busy && e.txn.pendingAcks > 0,
+              "stray invalidation ack: home "
+                  << home << " block 0x" << std::hex << block << std::dec
+                  << " busy=" << e.busy << " pendingAcks="
+                  << e.txn.pendingAcks << " at cycle " << at);
     Cycle start = std::max(at, dirBusy_[home]);
     dirBusy_[home] = start + cfg_.dirBase;
     if (--e.txn.pendingAcks > 0)
@@ -429,6 +442,52 @@ DirProtocol::drainQueue(NodeId home, Addr block, Cycle at)
     e.q.pop_front();
     queueDelay_ += at > arrived ? at - arrived : 0;
     service(home, block, r, std::max(at, arrived));
+}
+
+void
+DirProtocol::auditConsistency() const
+{
+    for (const auto& [block, e] : dir_) {
+        WWT_AUDIT(!e.busy,
+                  "busy directory entry outlived its transaction: home "
+                      << homeOf(block) << " block 0x" << std::hex << block
+                      << std::dec << " requester " << e.txn.r.req
+                      << " pendingAcks " << e.txn.pendingAcks);
+        WWT_AUDIT(e.q.empty(),
+                  "requests left queued on an idle directory entry: home "
+                      << homeOf(block) << " block 0x" << std::hex << block
+                      << std::dec << " queued " << e.q.size());
+
+        // Single-writer: at most one cache may hold the block writable
+        // (Exclusive line state, or dirty data), and it must be the
+        // recorded owner. Shared clean copies in other caches are
+        // legal (stale sharers, pushUpdate snapshots).
+        std::size_t writers = 0;
+        NodeId writer = 0;
+        for (std::size_t n = 0; n < caches_.size(); ++n) {
+            const mem::Line* line = caches_[n]->find(block / kBlockBytes);
+            if (!line)
+                continue;
+            if (line->dirty || line->state == mem::LineState::Exclusive) {
+                ++writers;
+                writer = static_cast<NodeId>(n);
+            }
+        }
+        WWT_AUDIT(writers <= 1,
+                  "single-writer violated: block 0x"
+                      << std::hex << block << std::dec << " held writable "
+                         "by " << writers << " caches (home "
+                      << homeOf(block) << ")");
+        if (writers == 1) {
+            WWT_AUDIT(e.state == DirState::Exclusive && e.owner == writer,
+                      "directory/cache disagreement: block 0x"
+                          << std::hex << block << std::dec
+                          << " writable in cache " << writer
+                          << " but directory state "
+                          << static_cast<int>(e.state) << " owner "
+                          << e.owner << " (home " << homeOf(block) << ")");
+        }
+    }
 }
 
 DirProtocol::DirSnapshot

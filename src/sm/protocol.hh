@@ -135,6 +135,23 @@ class DirProtocol
     /** Total directory queuing delay accumulated (cycles). */
     Cycle queueDelay() const { return queueDelay_; }
 
+    /**
+     * Coherence consistency sweep (audit subsystem). Valid whenever no
+     * transaction is in flight — a busy entry implies a blocked
+     * requester, so this holds at end-of-run and report time. Checks,
+     * for every directory-tracked block:
+     *  - no busy entry or queued request outlives its transaction;
+     *  - single writer: at most one cache holds the block writable
+     *    (Exclusive line state or dirty), and that cache is the
+     *    directory's recorded owner with the entry in Exclusive state.
+     * Non-owner caches may legitimately hold Shared *clean* copies the
+     * directory does not list (silent clean evictions leave stale
+     * sharer bits; pushUpdate installs snapshots outside the coherence
+     * domain — see the file comment).
+     * @throws audit::AuditError on the first violated invariant.
+     */
+    void auditConsistency() const;
+
   private:
     enum class DirState : std::uint8_t { Uncached, Shared, Exclusive };
 

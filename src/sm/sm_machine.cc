@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "audit/audit.hh"
 #include "mem/address_map.hh"
 
 namespace wwt::sm
@@ -48,6 +49,14 @@ SmMachine::SmMachine(const core::MachineConfig& cfg)
             *caches_[i], cfg_, cfg_.nprocs));
     }
     reducer_ = std::make_unique<SmReducer>(shalloc_, cfg_.nprocs);
+    engine_.addAudit([this] { audit(); });
+}
+
+void
+SmMachine::audit() const
+{
+    audit::checkCycleConservation(engine_);
+    proto_.auditConsistency();
 }
 
 std::size_t

@@ -127,6 +127,15 @@ class SmMachine
     /** Run the SPMD @p body on every node to completion. */
     void run(std::function<void(Node&)> body);
 
+    /**
+     * Run this machine's audit sweep now: cycle conservation over
+     * every processor plus the directory/cache consistency check. The
+     * constructor also registers it with the engine, so it runs
+     * automatically at the end of run() and at report time.
+     * @throws audit::AuditError on the first violated invariant.
+     */
+    void audit() const;
+
   private:
     friend struct Node;
 

@@ -31,6 +31,7 @@ PhaseStats::operator+=(const PhaseStats& o)
     for (std::size_t i = 0; i < kNumCategories; ++i)
         cycles[i] += o.cycles[i];
     counts += o.counts;
+    charged += o.charged;
     return *this;
 }
 

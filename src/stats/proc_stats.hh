@@ -22,6 +22,14 @@ namespace wwt::stats
 struct PhaseStats {
     CategoryCycles cycles{};
     Counts counts;
+    /**
+     * Redundant conservation counter: every charge that lands in a
+     * category also lands here, through a separate code path, so the
+     * audit subsystem can verify that the per-category cycles still
+     * sum to the total charged (cycle conservation — the paper's
+     * tables are partitions of this value).
+     */
+    std::uint64_t charged = 0;
 
     PhaseStats& operator+=(const PhaseStats& o);
     std::uint64_t totalCycles() const;
@@ -44,6 +52,7 @@ class ProcStats
     addCycles(Category c, std::uint64_t n)
     {
         phases_[cur_].cycles[static_cast<std::size_t>(c)] += n;
+        phases_[cur_].charged += n;
     }
 
     /** Mutable event counters of the current phase. */
@@ -57,6 +66,8 @@ class ProcStats
 
     std::size_t numPhases() const { return phases_.size(); }
     const PhaseStats& phase(std::size_t i) const { return phases_.at(i); }
+    /** Mutable phase access (harness/test use, e.g. seeding faults). */
+    PhaseStats& phase(std::size_t i) { return phases_.at(i); }
 
     /** Sum of all phases. */
     PhaseStats total() const;

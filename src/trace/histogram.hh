@@ -92,7 +92,9 @@ class LogHistogram
 
     /**
      * Approximate quantile: the upper bound of the bucket containing
-     * the @p q-th sample (0 <= q <= 1), clamped to the observed max.
+     * the @p q-th sample, clamped to the observed max. @p q is clamped
+     * to [0, 1]; NaN behaves like 0 (casting a negative or oversized
+     * product to an unsigned rank would be undefined behaviour).
      * Deterministic: depends only on the recorded multiset.
      */
     std::uint64_t
@@ -100,6 +102,10 @@ class LogHistogram
     {
         if (count_ == 0)
             return 0;
+        if (!(q > 0.0))
+            q = 0.0; // negative and NaN both land here
+        if (q > 1.0)
+            q = 1.0;
         std::uint64_t rank = static_cast<std::uint64_t>(q * count_);
         if (rank >= count_)
             rank = count_ - 1;

@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Tests for the audit subsystem: cycle-conservation and machine
+ * conservation sweeps pass on healthy runs of all four application
+ * pairs, seeded corruption is caught with a diagnostic, and the
+ * golden-shape gate fails when a band is violated.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "apps/em3d.hh"
+#include "apps/gauss.hh"
+#include "apps/lcp.hh"
+#include "apps/mse.hh"
+#include "audit/audit.hh"
+#include "audit/check.hh"
+#include "audit/shapes.hh"
+#include "core/report.hh"
+#include "mp/mp_machine.hh"
+#include "sm/sm_machine.hh"
+
+using namespace wwt;
+
+namespace
+{
+
+core::MachineConfig
+smallConfig()
+{
+    core::MachineConfig cfg;
+    cfg.nprocs = 4;
+    return cfg;
+}
+
+apps::MseParams
+smallMse()
+{
+    apps::MseParams p;
+    p.bodies = 16;
+    p.elemsPerBody = 2;
+    p.iters = 3;
+    p.geomInitCycles = 10'000;
+    return p;
+}
+
+apps::GaussParams
+smallGauss()
+{
+    apps::GaussParams p;
+    p.n = 64;
+    return p;
+}
+
+apps::Em3dParams
+smallEm3d()
+{
+    apps::Em3dParams p;
+    p.nodesPerProc = 64;
+    p.degree = 4;
+    p.iters = 4;
+    return p;
+}
+
+apps::LcpParams
+smallLcp()
+{
+    apps::LcpParams p;
+    p.n = 128;
+    p.halfBand = 4;
+    return p;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// The WWT_AUDIT macro itself.
+// ---------------------------------------------------------------------
+
+TEST(AuditCheckTest, PassingConditionDoesNotThrow)
+{
+    EXPECT_NO_THROW(WWT_AUDIT(1 + 1 == 2, "arithmetic broke"));
+}
+
+TEST(AuditCheckTest, FailureCarriesMessageAndContext)
+{
+    try {
+        int proc = 7;
+        WWT_AUDIT(proc < 0, "proc " << proc << " out of range");
+        FAIL() << "WWT_AUDIT did not throw";
+    } catch (const audit::AuditError& e) {
+        std::string what = e.what();
+        // The diagnostic must carry the streamed context, the failed
+        // expression, and the source location.
+        EXPECT_NE(what.find("proc 7 out of range"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("proc < 0"), std::string::npos) << what;
+        EXPECT_NE(what.find("test_audit.cc"), std::string::npos)
+            << what;
+    }
+}
+
+TEST(AuditCheckTest, ActiveInReleaseBuilds)
+{
+    // The whole point of WWT_AUDIT over assert(): it must not be
+    // compiled out under NDEBUG. This test fails loudly in any build
+    // configuration where the macro became a no-op.
+    bool threw = false;
+    try {
+        WWT_AUDIT(false, "must fire in every build type");
+    } catch (const audit::AuditError&) {
+        threw = true;
+    }
+    EXPECT_TRUE(threw);
+}
+
+// ---------------------------------------------------------------------
+// Cycle conservation on healthy runs: all four application pairs.
+// ---------------------------------------------------------------------
+// Each run already executes the machine sweeps at the end of
+// Engine::run() (via Engine::addAudit) and again inside
+// collectReport(); the explicit audit() call makes the intent of the
+// test visible and catches a machine whose registration went missing.
+
+TEST(CycleConservationTest, MseMp)
+{
+    mp::MpMachine m(smallConfig());
+    apps::runMseMp(m, smallMse());
+    EXPECT_NO_THROW(m.audit());
+    EXPECT_NO_THROW(core::collectReport(m.engine(), {"Init", "Solve"}));
+}
+
+TEST(CycleConservationTest, MseSm)
+{
+    sm::SmMachine m(smallConfig());
+    apps::runMseSm(m, smallMse());
+    EXPECT_NO_THROW(m.audit());
+    EXPECT_NO_THROW(core::collectReport(m.engine(), {"Init", "Solve"}));
+}
+
+TEST(CycleConservationTest, GaussMp)
+{
+    mp::MpMachine m(smallConfig());
+    apps::runGaussMp(m, smallGauss());
+    EXPECT_NO_THROW(m.audit());
+}
+
+TEST(CycleConservationTest, GaussSm)
+{
+    sm::SmMachine m(smallConfig());
+    apps::runGaussSm(m, smallGauss());
+    EXPECT_NO_THROW(m.audit());
+}
+
+TEST(CycleConservationTest, Em3dMp)
+{
+    mp::MpMachine m(smallConfig());
+    apps::runEm3dMp(m, smallEm3d());
+    EXPECT_NO_THROW(m.audit());
+}
+
+TEST(CycleConservationTest, Em3dSm)
+{
+    sm::SmMachine m(smallConfig());
+    apps::runEm3dSm(m, smallEm3d());
+    EXPECT_NO_THROW(m.audit());
+}
+
+TEST(CycleConservationTest, LcpMp)
+{
+    mp::MpMachine m(smallConfig());
+    apps::runLcpMp(m, smallLcp());
+    EXPECT_NO_THROW(m.audit());
+}
+
+TEST(CycleConservationTest, LcpSm)
+{
+    sm::SmMachine m(smallConfig());
+    apps::runLcpSm(m, smallLcp());
+    EXPECT_NO_THROW(m.audit());
+}
+
+// ---------------------------------------------------------------------
+// Seeded corruption is caught.
+// ---------------------------------------------------------------------
+
+TEST(CycleConservationTest, CorruptedCategoryTotalIsCaught)
+{
+    sm::SmMachine m(smallConfig());
+    apps::runEm3dSm(m, smallEm3d());
+    ASSERT_NO_THROW(m.audit());
+
+    // Mutate a category total outside ProcStats::addCycles: the
+    // per-category sum no longer matches the redundant charge counter.
+    m.engine().proc(0).stats().phase(0).cycles[0] += 12345;
+    EXPECT_THROW(audit::checkCycleConservation(m.engine()),
+                 audit::AuditError);
+    EXPECT_THROW(m.audit(), audit::AuditError);
+    // Report generation refuses to print from a corrupted run.
+    EXPECT_THROW(
+        core::collectReport(m.engine(), {"Initialization", "Main Loop"}),
+        audit::AuditError);
+}
+
+TEST(CycleConservationTest, CorruptedChargeCounterIsCaught)
+{
+    mp::MpMachine m(smallConfig());
+    apps::runGaussMp(m, smallGauss());
+    ASSERT_NO_THROW(m.audit());
+
+    // Bump the charge counter without a matching category charge: the
+    // per-phase equation and the clock equation both break.
+    m.engine().proc(1).stats().phase(0).charged += 7;
+    EXPECT_THROW(audit::checkCycleConservation(m.engine()),
+                 audit::AuditError);
+}
+
+TEST(CycleConservationTest, DiagnosticNamesProcessorAndPhase)
+{
+    sm::SmMachine m(smallConfig());
+    apps::runGaussSm(m, smallGauss());
+    m.engine().proc(2).stats().phase(1).cycles[0] += 999;
+    try {
+        audit::checkCycleConservation(m.engine());
+        FAIL() << "corruption not detected";
+    } catch (const audit::AuditError& e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("proc 2"), std::string::npos) << what;
+        EXPECT_NE(what.find("phase 1"), std::string::npos) << what;
+    }
+}
+
+TEST(MpConservationTest, CorruptedPacketCountIsCaught)
+{
+    mp::MpMachine m(smallConfig());
+    apps::runGaussMp(m, smallGauss());
+    ASSERT_NO_THROW(m.audit());
+
+    // A packet count that drifts from the NI's own counter means the
+    // stats layer and the wire disagree.
+    m.engine().proc(0).stats().phase(0).counts.packetsSent += 1;
+    EXPECT_THROW(m.audit(), audit::AuditError);
+}
+
+TEST(MpConservationTest, CorruptedByteCountIsCaught)
+{
+    mp::MpMachine m(smallConfig());
+    apps::runMseMp(m, smallMse());
+    ASSERT_NO_THROW(m.audit());
+
+    // Bytes charged at the NI no longer account for the packets sent.
+    m.engine().proc(3).stats().phase(0).counts.bytesData += 4;
+    EXPECT_THROW(m.audit(), audit::AuditError);
+}
+
+TEST(MpConservationTest, SmCountersMustStayZeroOnMpMachine)
+{
+    mp::MpMachine m(smallConfig());
+    apps::runGaussMp(m, smallGauss());
+    m.engine().proc(0).stats().phase(0).counts.protoMsgs = 1;
+    EXPECT_THROW(m.audit(), audit::AuditError);
+}
+
+// ---------------------------------------------------------------------
+// The golden-shape gate.
+// ---------------------------------------------------------------------
+
+TEST(ShapeGateTest, DisabledGateIsInert)
+{
+    audit::ShapeGate gate;
+    EXPECT_FALSE(gate.enabled());
+    gate.record("anything", 42.0);
+    std::ostringstream os;
+    EXPECT_EQ(gate.finish(os), 0);
+}
+
+TEST(ShapeGateTest, InBandValuePasses)
+{
+    auto gate = audit::ShapeGate::fromBands(
+        "test", {{"mp_over_sm", {0.5, 1.5}}});
+    EXPECT_TRUE(gate.enabled());
+    gate.record("mp_over_sm", 1.0);
+    std::ostringstream os;
+    EXPECT_EQ(gate.finish(os), 0);
+    EXPECT_NE(os.str().find("PASSED"), std::string::npos) << os.str();
+}
+
+TEST(ShapeGateTest, OutOfBandValueFails)
+{
+    auto gate = audit::ShapeGate::fromBands(
+        "test", {{"mp_over_sm", {0.5, 1.5}}});
+    gate.record("mp_over_sm", 2.0);
+    std::ostringstream os;
+    EXPECT_GT(gate.finish(os), 0);
+    EXPECT_NE(os.str().find("FAIL"), std::string::npos) << os.str();
+    EXPECT_NE(os.str().find("mp_over_sm"), std::string::npos)
+        << os.str();
+}
+
+TEST(ShapeGateTest, ValueBelowBandFails)
+{
+    auto gate = audit::ShapeGate::fromBands(
+        "test", {{"ratio", {0.5, 1.5}}});
+    gate.record("ratio", 0.1);
+    std::ostringstream os;
+    EXPECT_GT(gate.finish(os), 0);
+}
+
+TEST(ShapeGateTest, ValueWithoutBandFails)
+{
+    // Strict in this direction: a measurement the golden file does
+    // not know about means the file is stale.
+    auto gate =
+        audit::ShapeGate::fromBands("test", {{"known", {0.0, 1.0}}});
+    gate.record("known", 0.5);
+    gate.record("surprise", 0.5);
+    std::ostringstream os;
+    EXPECT_GT(gate.finish(os), 0);
+    EXPECT_NE(os.str().find("surprise"), std::string::npos) << os.str();
+}
+
+TEST(ShapeGateTest, BandNeverRecordedFails)
+{
+    // Strict in the other direction: a band with no measurement means
+    // a check silently disappeared from the bench.
+    auto gate = audit::ShapeGate::fromBands(
+        "test", {{"present", {0.0, 1.0}}, {"vanished", {0.0, 1.0}}});
+    gate.record("present", 0.5);
+    std::ostringstream os;
+    EXPECT_GT(gate.finish(os), 0);
+    EXPECT_NE(os.str().find("vanished"), std::string::npos) << os.str();
+}
+
+TEST(ShapeGateTest, LoadsProfileAndSectionFromFile)
+{
+    std::string path =
+        testing::TempDir() + "/wwt_shapes_test.json";
+    {
+        std::ofstream f(path);
+        f << "{\"schema\": \"wwtcmp.shapes/1\",\n"
+             " \"profiles\": {\n"
+             "  \"smoke\": {\"em3d\": {\"mp_over_sm\": "
+             "{\"lo\": 0.2, \"hi\": 0.5}}}}}\n";
+    }
+    auto gate = audit::ShapeGate::fromFile(path, "smoke", "em3d");
+    gate.record("mp_over_sm", 0.35);
+    std::ostringstream os;
+    EXPECT_EQ(gate.finish(os), 0);
+
+    auto bad = audit::ShapeGate::fromFile(path, "smoke", "em3d");
+    bad.record("mp_over_sm", 0.9);
+    std::ostringstream os2;
+    EXPECT_GT(bad.finish(os2), 0);
+
+    EXPECT_THROW(audit::ShapeGate::fromFile(path, "paper", "em3d"),
+                 std::runtime_error);
+    EXPECT_THROW(audit::ShapeGate::fromFile(path, "smoke", "gauss"),
+                 std::runtime_error);
+    EXPECT_THROW(
+        audit::ShapeGate::fromFile("/nonexistent/shapes.json", "smoke",
+                                   "em3d"),
+        std::runtime_error);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// The small JSON reader behind the golden file.
+// ---------------------------------------------------------------------
+
+TEST(JsonParserTest, ParsesScalarsAndContainers)
+{
+    auto v = audit::parseJson(
+        "{\"a\": 1.5, \"b\": [1, 2, 3], \"c\": \"text\","
+        " \"d\": true, \"e\": null, \"f\": {\"g\": -2e3}}");
+    ASSERT_EQ(v.kind, audit::JsonValue::Kind::Object);
+    ASSERT_NE(v.find("a"), nullptr);
+    EXPECT_DOUBLE_EQ(v.find("a")->number, 1.5);
+    ASSERT_EQ(v.find("b")->array.size(), 3u);
+    EXPECT_DOUBLE_EQ(v.find("b")->array[1].number, 2.0);
+    EXPECT_EQ(v.find("c")->string, "text");
+    EXPECT_TRUE(v.find("d")->boolean);
+    EXPECT_EQ(v.find("e")->kind, audit::JsonValue::Kind::Null);
+    ASSERT_NE(v.find("f")->find("g"), nullptr);
+    EXPECT_DOUBLE_EQ(v.find("f")->find("g")->number, -2000.0);
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParserTest, RejectsMalformedInput)
+{
+    EXPECT_THROW(audit::parseJson("{"), std::runtime_error);
+    EXPECT_THROW(audit::parseJson("{\"a\": }"), std::runtime_error);
+    EXPECT_THROW(audit::parseJson("[1, 2,]"), std::runtime_error);
+    EXPECT_THROW(audit::parseJson("{} extra"), std::runtime_error);
+    EXPECT_THROW(audit::parseJson("\"unterminated"),
+                 std::runtime_error);
+    EXPECT_THROW(audit::parseJson(""), std::runtime_error);
+    EXPECT_THROW(audit::parseJson("{'a': 1}"), std::runtime_error);
+}
+
+TEST(JsonParserTest, ParsesTheShippedGoldenFileShape)
+{
+    // Same structure as bench/golden_shapes.json: profiles ->
+    // sections -> {lo, hi} bands, plus a comment array.
+    auto v = audit::parseJson(
+        "{\"schema\": \"wwtcmp.shapes/1\","
+        " \"comment\": [\"line one\", \"line two\"],"
+        " \"profiles\": {\"paper\": {\"mse\": {"
+        "   \"mp_over_sm\": {\"lo\": 0.85, \"hi\": 1.15}}}}}");
+    const auto* band = v.find("profiles")
+                           ->find("paper")
+                           ->find("mse")
+                           ->find("mp_over_sm");
+    ASSERT_NE(band, nullptr);
+    EXPECT_DOUBLE_EQ(band->find("lo")->number, 0.85);
+    EXPECT_DOUBLE_EQ(band->find("hi")->number, 1.15);
+}

@@ -154,6 +154,53 @@ TEST(LogHistogramTest, StatsAndQuantiles)
     EXPECT_EQ(h.quantile(1.0), 100u);
 }
 
+TEST(LogHistogramTest, QuantileClampsOutOfRangeArguments)
+{
+    LogHistogram h;
+    for (std::uint64_t v : {1, 2, 3, 100})
+        h.record(v);
+    // Out-of-range q used to be cast straight to an unsigned rank
+    // (undefined behaviour for negatives); it must clamp to [0, 1].
+    EXPECT_EQ(h.quantile(-0.5), h.quantile(0.0));
+    EXPECT_EQ(h.quantile(-1e300), h.quantile(0.0));
+    EXPECT_EQ(h.quantile(1.5), h.quantile(1.0));
+    EXPECT_EQ(h.quantile(1e300), h.quantile(1.0));
+    EXPECT_EQ(h.quantile(std::numeric_limits<double>::quiet_NaN()),
+              h.quantile(0.0));
+    // And an empty histogram stays 0 for any q.
+    LogHistogram empty;
+    EXPECT_EQ(empty.quantile(-1.0), 0u);
+    EXPECT_EQ(empty.quantile(2.0), 0u);
+}
+
+TEST(LogHistogramTest, MergingEmptyShardKeepsMinMaxSentinels)
+{
+    // An empty shard's internal min sentinel (~0) must not leak into
+    // the merged histogram's reported min/max.
+    LogHistogram a;
+    a.record(5);
+    a.record(9);
+    LogHistogram empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.min(), 5u);
+    EXPECT_EQ(a.max(), 9u);
+
+    // Merging into an empty histogram adopts the other side's stats.
+    LogHistogram b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_EQ(b.min(), 5u);
+    EXPECT_EQ(b.max(), 9u);
+
+    // Empty-into-empty stays empty (and min() reports 0, not ~0).
+    LogHistogram c, d;
+    c.merge(d);
+    EXPECT_EQ(c.count(), 0u);
+    EXPECT_EQ(c.min(), 0u);
+    EXPECT_EQ(c.max(), 0u);
+}
+
 // ---------------------------------------------------------------------
 // Ring-buffer behavior: span merging and overflow accounting.
 // ---------------------------------------------------------------------
