@@ -13,6 +13,12 @@
  * quantum loop; every value produces bit-identical results (the CI
  * determinism gate diffs the --metrics output at 1 vs 4 threads).
  *
+ * This is a thin client of the experiment layer: app dispatch lives
+ * in the exp registry (src/exp/registry.hh), shared with the
+ * wwtcmp_campaign runner, so a new application needs one registry
+ * entry and no CLI changes. For sweeps over many configurations use
+ * wwtcmp_campaign (docs/campaigns.md).
+ *
  * Examples:
  *   run_app --app em3d --machine sm --procs 16 --cache-kb 1024
  *   run_app --app gauss --machine mp --tree binary
@@ -23,13 +29,10 @@
 #include <cstring>
 #include <string>
 
-#include "apps/em3d.hh"
-#include "apps/gauss.hh"
-#include "apps/lcp.hh"
-#include "apps/mse.hh"
 #include "core/metrics.hh"
 #include "core/parse.hh"
 #include "core/report.hh"
+#include "exp/registry.hh"
 
 using namespace wwt;
 
@@ -150,97 +153,50 @@ main(int argc, char** argv)
     if (!parse(argc, argv, c))
         return 2;
 
-    core::MachineConfig cfg = core::MachineConfig::cm5Like();
-    cfg.nprocs = c.procs;
-    cfg.cache.bytes = c.cacheKb * 1024;
-    cfg.netGap = c.netGap;
-    cfg.hostThreads = c.hostThreads ? c.hostThreads : 1;
+    exp::LaunchSpec spec;
+    spec.app = c.app;
+    spec.machine = c.machine;
+    spec.cfg = core::MachineConfig::cm5Like();
+    spec.cfg.nprocs = c.procs;
+    spec.cfg.cache.bytes = c.cacheKb * 1024;
+    spec.cfg.netGap = c.netGap;
+    spec.cfg.hostThreads = c.hostThreads ? c.hostThreads : 1;
     if (c.localAlloc)
-        cfg.allocPolicy = mem::AllocPolicy::Local;
-    mp::TreeKind tk = c.tree == "flat"     ? mp::TreeKind::Flat
-                      : c.tree == "binary" ? mp::TreeKind::Binary
-                                           : mp::TreeKind::LopSided;
-
-    bool is_mp = c.machine == "mp";
-    std::unique_ptr<mp::MpMachine> mpm;
-    std::unique_ptr<sm::SmMachine> smm;
-    if (is_mp)
-        mpm = std::make_unique<mp::MpMachine>(cfg, tk);
-    else
-        smm = std::make_unique<sm::SmMachine>(cfg);
+        spec.cfg.allocPolicy = mem::AllocPolicy::Local;
+    spec.req.size = c.size;
+    spec.req.iters = c.iters;
 
     core::ArtifactWriter art(c.traceFile, c.metricsFile);
-    art.attach(is_mp ? mpm->engine() : smm->engine());
-
-    std::vector<std::string> phases{"Init", "Main"};
-    if (c.app == "mse") {
-        apps::MseParams p;
-        if (c.size)
-            p.bodies = c.size;
-        if (c.iters)
-            p.iters = c.iters;
-        if (is_mp)
-            apps::runMseMp(*mpm, p);
-        else
-            apps::runMseSm(*smm, p);
-    } else if (c.app == "gauss") {
-        apps::GaussParams p;
-        if (c.size)
-            p.n = c.size;
-        phases = {"Init", "Solve"};
-        if (is_mp)
-            apps::runGaussMp(*mpm, p);
-        else
-            apps::runGaussSm(*smm, p);
-    } else if (c.app == "em3d") {
-        apps::Em3dParams p;
-        if (c.size)
-            p.nodesPerProc = c.size;
-        if (c.iters)
-            p.iters = c.iters;
-        if (is_mp)
-            apps::runEm3dMp(*mpm, p);
-        else
-            apps::runEm3dSm(*smm, p);
-    } else if (c.app == "lcp" || c.app == "alcp") {
-        apps::LcpParams p;
-        p.async = c.app == "alcp";
-        if (c.size)
-            p.n = c.size;
-        phases = {"Init", "Solve"};
-        apps::LcpResult r;
-        if (is_mp)
-            r = apps::runLcpMp(*mpm, p);
-        else
-            r = apps::runLcpSm(*smm, p);
-        std::printf("converged in %zu steps (complementarity %.2e)\n",
-                    r.steps, r.complementarity);
-    } else {
-        std::fprintf(stderr, "unknown app %s\n", c.app.c_str());
+    exp::LaunchResult res;
+    try {
+        spec.tree = exp::parseTree(c.tree);
+        res = exp::launch(spec, &art, c.app + "-" + c.machine);
+    } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
         return 2;
     }
 
-    sim::Engine& e = is_mp ? mpm->engine() : smm->engine();
-    auto rep = core::collectReport(e, phases);
+    if (!res.note.empty())
+        std::printf("%s\n", res.note.c_str());
     std::printf("%s\n",
                 core::phaseBreakdownTable(
                     c.app + " on the " +
-                        (is_mp ? "message-passing" : "shared-memory") +
+                        (res.isMp ? "message-passing"
+                                  : "shared-memory") +
                         " machine",
-                    rep, is_mp ? core::mpRows() : core::smRows())
+                    res.report,
+                    res.isMp ? core::mpRows() : core::smRows())
                     .c_str());
     std::printf("%s\n",
-                (is_mp ? core::mpCountsTable("Per-processor counts",
-                                             rep)
-                       : core::smCountsTable("Per-processor counts",
-                                             rep))
+                (res.isMp
+                     ? core::mpCountsTable("Per-processor counts",
+                                           res.report)
+                     : core::smCountsTable("Per-processor counts",
+                                           res.report))
                     .c_str());
-    if (e.tracer()) {
-        std::string hist =
-            core::histogramTable("Latency histograms", rep);
-        if (!hist.empty())
-            std::printf("%s\n", hist.c_str());
-    }
-    art.addRun(c.app + "-" + c.machine, cfg, e, rep);
+    std::string hist =
+        core::histogramTable("Latency histograms", res.report);
+    if (!hist.empty())
+        std::printf("%s\n", hist.c_str());
     return art.write() ? 0 : 1;
 }

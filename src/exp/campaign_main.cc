@@ -1,0 +1,421 @@
+/**
+ * @file
+ * wwtcmp_campaign: the campaign front door.
+ *
+ *   wwtcmp_campaign run <campaign.json> [--profile P] [--dir D]
+ *                   [--jobs N] [--timeout S] [--retries N]
+ *                   [--chaos-kill ID]
+ *   wwtcmp_campaign resume <campaign.json> [same flags]
+ *   wwtcmp_campaign list <campaign.json> [--profile P]
+ *   wwtcmp_campaign report <dir>
+ *   wwtcmp_campaign diff <dirA> <dirB> [--tol X]
+ *
+ * `run` executes every expanded scenario of the campaign file in
+ * crash-isolated parallel child processes (each child is this binary
+ * re-invoked with the internal --run-one verb) and records one JSONL
+ * result per run under the campaign directory. `resume` skips
+ * scenarios whose stored records pass and still match the campaign
+ * file's config hash, and re-runs the rest. `report` renders the
+ * cross-scenario cycle table; `diff` compares two campaign
+ * directories and fails on drift beyond the tolerance. See
+ * docs/campaigns.md for the file and record schemas.
+ */
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "audit/check.hh"
+#include "core/parse.hh"
+#include "exp/registry.hh"
+#include "exp/report.hh"
+#include "exp/runner.hh"
+#include "exp/scenario.hh"
+#include "exp/store.hh"
+
+using namespace wwt;
+
+namespace
+{
+
+int
+usage(const char* msg = nullptr)
+{
+    if (msg)
+        std::fprintf(stderr, "error: %s\n", msg);
+    std::fprintf(
+        stderr,
+        "usage: wwtcmp_campaign run    <campaign.json> [--profile P] "
+        "[--dir D] [--jobs N]\n"
+        "                              [--timeout S] [--retries N] "
+        "[--chaos-kill ID]\n"
+        "       wwtcmp_campaign resume <campaign.json> [same flags]\n"
+        "       wwtcmp_campaign list   <campaign.json> [--profile P]\n"
+        "       wwtcmp_campaign report <dir>\n"
+        "       wwtcmp_campaign diff   <dirA> <dirB> [--tol X]\n"
+        "apps: %s\n",
+        exp::appNames().c_str());
+    return 2;
+}
+
+/** Absolute path of this binary, for self-invoking children. */
+std::string
+selfExe(const char* argv0)
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0;
+}
+
+struct Cli {
+    std::string verb;
+    std::vector<std::string> positional;
+    std::string profile = "paper";
+    std::string dir;
+    std::size_t jobs = 0; ///< 0 = pick from the host
+    double timeoutOverride = 0;
+    int retriesOverride = -1;
+    std::string chaosKillId;
+    double tolerance = 0.0;
+    // --run-one internals
+    std::string scenarioId;
+};
+
+bool
+parseCli(int argc, char** argv, Cli& c)
+{
+    if (argc < 2)
+        return false;
+    c.verb = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        auto value = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--profile")) {
+            c.profile = value("--profile");
+        } else if (!std::strcmp(argv[i], "--dir")) {
+            c.dir = value("--dir");
+        } else if (!std::strcmp(argv[i], "--jobs")) {
+            c.jobs = static_cast<std::size_t>(
+                core::requireCount("--jobs", value("--jobs"), 1, 256));
+        } else if (!std::strcmp(argv[i], "--timeout")) {
+            c.timeoutOverride = static_cast<double>(core::requireCount(
+                "--timeout", value("--timeout"), 1, 86400));
+        } else if (!std::strcmp(argv[i], "--retries")) {
+            c.retriesOverride = static_cast<int>(core::requireCount(
+                "--retries", value("--retries"), 0, 100));
+        } else if (!std::strcmp(argv[i], "--chaos-kill")) {
+            c.chaosKillId = value("--chaos-kill");
+        } else if (!std::strcmp(argv[i], "--tol")) {
+            const char* v = value("--tol");
+            char* end = nullptr;
+            c.tolerance = std::strtod(v, &end);
+            if (end == v || *end || c.tolerance < 0) {
+                std::fprintf(stderr,
+                             "error: --tol expects a non-negative "
+                             "number, got '%s'\n",
+                             v);
+                std::exit(2);
+            }
+        } else if (!std::strcmp(argv[i], "--scenario")) {
+            c.scenarioId = value("--scenario");
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+            std::exit(2);
+        } else {
+            c.positional.push_back(argv[i]);
+        }
+    }
+    return true;
+}
+
+std::string
+defaultDir(const exp::Campaign& campaign)
+{
+    return campaign.name + "-" + campaign.profile + ".campaign";
+}
+
+// ----------------------------------------------------------------
+// --run-one: the child side.
+// ----------------------------------------------------------------
+
+int
+runOne(const Cli& cli)
+{
+    if (cli.positional.size() != 1 || cli.scenarioId.empty() ||
+        cli.dir.empty())
+        return usage("--run-one needs <campaign.json>, --scenario "
+                     "and --dir");
+    exp::Campaign campaign =
+        exp::loadCampaign(cli.positional[0], cli.profile);
+    const exp::Scenario* s = campaign.find(cli.scenarioId);
+    if (!s) {
+        std::fprintf(stderr, "unknown scenario '%s'\n",
+                     cli.scenarioId.c_str());
+        return 2;
+    }
+
+    exp::Store store(cli.dir);
+    exp::RunRecord rec;
+    rec.scenario = s->id;
+    rec.configHash = s->configHash();
+    rec.app = s->app;
+    rec.machine = s->machine;
+    rec.metricsPath = "metrics/" + s->id + ".json";
+
+    try {
+        core::ArtifactWriter art("", store.metricsPath(s->id));
+        exp::LaunchResult res =
+            exp::launch(s->launchSpec(), &art, s->id);
+        art.write();
+        rec.setReport(res.report);
+        if (!res.note.empty())
+            std::printf("%s\n", res.note.c_str());
+
+        std::string verdicts;
+        rec.shapeViolations = exp::checkShapes(*s, res.report, verdicts);
+        if (!verdicts.empty())
+            std::printf("%s", verdicts.c_str());
+        if (rec.shapeViolations > 0) {
+            rec.status = exp::RunStatus::Fail;
+            rec.error = std::to_string(rec.shapeViolations) +
+                        " shape band violation(s)";
+        }
+    } catch (const audit::AuditError& e) {
+        rec.status = exp::RunStatus::Fail;
+        rec.error = e.what();
+        std::fprintf(stderr, "%s\n", e.what());
+    } catch (const std::exception& e) {
+        rec.status = exp::RunStatus::Fail;
+        rec.error = e.what();
+        std::fprintf(stderr, "%s\n", e.what());
+    }
+
+    std::ofstream os(store.tmpRecordPath(s->id));
+    if (!os) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     store.tmpRecordPath(s->id).c_str());
+        return 3;
+    }
+    os << rec.toJsonLine() << '\n';
+    return rec.status == exp::RunStatus::Pass ? 0 : 1;
+}
+
+// ----------------------------------------------------------------
+// run / resume: the parent side.
+// ----------------------------------------------------------------
+
+int
+runCampaign(const Cli& cli, const char* argv0, bool resume)
+{
+    if (cli.positional.size() != 1)
+        return usage("run/resume need exactly one campaign file");
+    const std::string& path = cli.positional[0];
+    exp::Campaign campaign = exp::loadCampaign(path, cli.profile);
+    if (campaign.scenarios.empty()) {
+        std::fprintf(stderr, "campaign '%s' has no scenarios\n",
+                     campaign.name.c_str());
+        return 2;
+    }
+
+    exp::Store store(cli.dir.empty() ? defaultDir(campaign) : cli.dir);
+    if (!resume && store.exists()) {
+        std::fprintf(stderr,
+                     "error: %s already holds results; use 'resume' "
+                     "to continue it or point --dir at a fresh "
+                     "directory\n",
+                     store.dir().c_str());
+        return 2;
+    }
+    store.create();
+
+    // Apply CLI overrides and split into skip/run lists.
+    std::map<std::string, exp::RunRecord> latest =
+        resume ? store.loadLatest()
+               : std::map<std::string, exp::RunRecord>{};
+    std::vector<exp::Scenario> todo;
+    std::size_t skipped = 0;
+    for (exp::Scenario s : campaign.scenarios) {
+        if (cli.timeoutOverride > 0)
+            s.timeoutSec = cli.timeoutOverride;
+        if (cli.retriesOverride >= 0)
+            s.retries = cli.retriesOverride;
+        if (resume && store.satisfiedBy(latest, s)) {
+            ++skipped;
+            continue;
+        }
+        todo.push_back(std::move(s));
+    }
+
+    std::size_t jobs = cli.jobs;
+    if (jobs == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        jobs = std::min<std::size_t>(hw ? hw : 1, 8);
+    }
+    std::printf("campaign %s [%s]: %zu scenario(s), %zu skipped, "
+                "%zu job(s) -> %s\n",
+                campaign.name.c_str(), campaign.profile.c_str(),
+                campaign.scenarios.size(), skipped,
+                std::min(jobs, todo.size()), store.dir().c_str());
+
+    if (!cli.chaosKillId.empty() &&
+        !campaign.find(cli.chaosKillId)) {
+        std::fprintf(stderr, "error: --chaos-kill names unknown "
+                             "scenario '%s'\n",
+                     cli.chaosKillId.c_str());
+        return 2;
+    }
+
+    std::string exe = selfExe(argv0);
+    exp::RunnerOptions ropts;
+    ropts.jobs = jobs;
+    ropts.chaosKillId = cli.chaosKillId;
+    exp::Runner runner(ropts, [&](const exp::Scenario& s) {
+        return std::vector<std::string>{
+            exe,          "--run-one",  path,
+            "--profile",  cli.profile,  "--scenario",
+            s.id,         "--dir",      store.dir(),
+        };
+    });
+
+    std::size_t done = 0;
+    int failures = 0;
+    runner.run(
+        todo,
+        [&](const exp::Scenario& s, const exp::ChildOutcome& out) {
+            exp::RunRecord rec;
+            bool adopted = false;
+            if (out.kind == exp::ChildOutcome::Kind::Exited &&
+                (out.exitCode == 0 || out.exitCode == 1)) {
+                // The child claims it wrote a record: validate it
+                // before adopting it into results.jsonl.
+                std::ifstream in(store.tmpRecordPath(s.id));
+                std::string line;
+                if (in && std::getline(in, line)) {
+                    try {
+                        rec = exp::RunRecord::fromJsonLine(line);
+                        adopted = rec.scenario == s.id &&
+                                  rec.configHash == s.configHash();
+                    } catch (const std::exception&) {
+                        adopted = false;
+                    }
+                }
+            }
+            if (!adopted) {
+                rec = exp::RunRecord{};
+                rec.scenario = s.id;
+                rec.configHash = s.configHash();
+                rec.app = s.app;
+                rec.machine = s.machine;
+                switch (out.kind) {
+                  case exp::ChildOutcome::Kind::Timeout:
+                    rec.status = exp::RunStatus::Timeout;
+                    break;
+                  case exp::ChildOutcome::Kind::Signal:
+                  case exp::ChildOutcome::Kind::SpawnError:
+                    rec.status = exp::RunStatus::Crash;
+                    break;
+                  case exp::ChildOutcome::Kind::Exited:
+                    rec.status = exp::RunStatus::Fail;
+                    break;
+                }
+                rec.error = !out.detail.empty()
+                                ? out.detail
+                                : "child exited with status " +
+                                      std::to_string(out.exitCode) +
+                                      " without a valid record";
+            }
+            rec.attempts = out.attempts;
+            std::remove(store.tmpRecordPath(s.id).c_str());
+            store.append(rec);
+            ++done;
+            if (rec.status != exp::RunStatus::Pass)
+                ++failures;
+            std::printf("[%zu/%zu] %-7s %-40s (%d attempt%s%s%s)\n",
+                        done, todo.size(),
+                        exp::runStatusName(rec.status), s.id.c_str(),
+                        rec.attempts, rec.attempts == 1 ? "" : "s",
+                        rec.error.empty() ? "" : ": ",
+                        rec.error.c_str());
+            std::fflush(stdout);
+        },
+        [&](const exp::Scenario& s) { return store.logPath(s.id); });
+
+    std::printf("campaign %s: %zu run, %zu skipped, %d failure(s)\n",
+                campaign.name.c_str(), done, skipped, failures);
+    return failures == 0 ? 0 : 1;
+}
+
+int
+listCampaign(const Cli& cli)
+{
+    if (cli.positional.size() != 1)
+        return usage("list needs exactly one campaign file");
+    exp::Campaign campaign =
+        exp::loadCampaign(cli.positional[0], cli.profile);
+    std::printf("campaign %s [%s]: %zu scenario(s)\n",
+                campaign.name.c_str(), campaign.profile.c_str(),
+                campaign.scenarios.size());
+    for (const exp::Scenario& s : campaign.scenarios) {
+        std::printf("  %-40s %s/%s procs=%zu cache_kb=%zu gap=%llu "
+                    "size=%zu iters=%zu hash=%s\n",
+                    s.id.c_str(), s.app.c_str(), s.machine.c_str(),
+                    s.procs, s.cacheKb,
+                    static_cast<unsigned long long>(s.netGap), s.size,
+                    s.iters, s.configHash().c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Cli cli;
+    if (!parseCli(argc, argv, cli))
+        return usage();
+
+    try {
+        if (cli.verb == "--run-one")
+            return runOne(cli);
+        if (cli.verb == "run")
+            return runCampaign(cli, argv[0], /*resume=*/false);
+        if (cli.verb == "resume")
+            return runCampaign(cli, argv[0], /*resume=*/true);
+        if (cli.verb == "list")
+            return listCampaign(cli);
+        if (cli.verb == "report") {
+            if (cli.positional.size() != 1)
+                return usage("report needs exactly one directory");
+            return exp::reportCampaign(cli.positional[0], std::cout);
+        }
+        if (cli.verb == "diff") {
+            if (cli.positional.size() != 2)
+                return usage("diff needs exactly two directories");
+            exp::DiffOptions d;
+            d.tolerance = cli.tolerance;
+            return exp::diffCampaigns(cli.positional[0],
+                                      cli.positional[1], d,
+                                      std::cout) == 0
+                       ? 0
+                       : 1;
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+    return usage(("unknown verb '" + cli.verb + "'").c_str());
+}

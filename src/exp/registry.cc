@@ -1,0 +1,231 @@
+#include "exp/registry.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+
+#include "apps/em3d.hh"
+#include "apps/gauss.hh"
+#include "apps/lcp.hh"
+#include "apps/mse.hh"
+#include "audit/audit.hh"
+#include "mp/mp_machine.hh"
+#include "sm/sm_machine.hh"
+
+namespace wwt::exp
+{
+
+namespace
+{
+
+apps::MseParams
+mseParams(const AppRequest& r)
+{
+    apps::MseParams p;
+    if (r.size)
+        p.bodies = r.size;
+    if (r.iters)
+        p.iters = r.iters;
+    return p;
+}
+
+apps::GaussParams
+gaussParams(const AppRequest& r)
+{
+    apps::GaussParams p;
+    if (r.size)
+        p.n = r.size;
+    return p;
+}
+
+apps::Em3dParams
+em3dParams(const AppRequest& r)
+{
+    apps::Em3dParams p;
+    if (r.size)
+        p.nodesPerProc = r.size;
+    if (r.iters)
+        p.iters = r.iters;
+    return p;
+}
+
+apps::LcpParams
+lcpParams(const AppRequest& r, bool async)
+{
+    apps::LcpParams p;
+    p.async = async;
+    if (r.size)
+        p.n = r.size;
+    return p;
+}
+
+std::string
+lcpNote(const apps::LcpResult& r)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "converged in %zu steps (complementarity %.2e)",
+                  r.steps, r.complementarity);
+    return buf;
+}
+
+const std::vector<AppEntry>&
+registry()
+{
+    static const std::vector<AppEntry> entries = {
+        {"mse",
+         "Microstructure Electrostatics (Tables 4-7)",
+         {"Init", "Main"},
+         [](mp::MpMachine& m, const AppRequest& r) {
+             apps::runMseMp(m, mseParams(r));
+             return AppOutcome{};
+         },
+         [](sm::SmMachine& m, const AppRequest& r) {
+             apps::runMseSm(m, mseParams(r));
+             return AppOutcome{};
+         }},
+        {"gauss",
+         "Gaussian elimination (Tables 8-11)",
+         {"Init", "Solve"},
+         [](mp::MpMachine& m, const AppRequest& r) {
+             apps::runGaussMp(m, gaussParams(r));
+             return AppOutcome{};
+         },
+         [](sm::SmMachine& m, const AppRequest& r) {
+             apps::runGaussSm(m, gaussParams(r));
+             return AppOutcome{};
+         }},
+        {"em3d",
+         "EM wave propagation on a bipartite graph (Tables 12-17)",
+         {"Init", "Main"},
+         [](mp::MpMachine& m, const AppRequest& r) {
+             apps::runEm3dMp(m, em3dParams(r));
+             return AppOutcome{};
+         },
+         [](sm::SmMachine& m, const AppRequest& r) {
+             apps::runEm3dSm(m, em3dParams(r));
+             return AppOutcome{};
+         }},
+        {"lcp",
+         "Linear complementarity, synchronous SOR (Tables 18-21)",
+         {"Init", "Solve"},
+         [](mp::MpMachine& m, const AppRequest& r) {
+             return AppOutcome{
+                 lcpNote(apps::runLcpMp(m, lcpParams(r, false)))};
+         },
+         [](sm::SmMachine& m, const AppRequest& r) {
+             return AppOutcome{
+                 lcpNote(apps::runLcpSm(m, lcpParams(r, false)))};
+         }},
+        {"alcp",
+         "Linear complementarity, asynchronous SOR (Tables 22-23)",
+         {"Init", "Solve"},
+         [](mp::MpMachine& m, const AppRequest& r) {
+             return AppOutcome{
+                 lcpNote(apps::runLcpMp(m, lcpParams(r, true)))};
+         },
+         [](sm::SmMachine& m, const AppRequest& r) {
+             return AppOutcome{
+                 lcpNote(apps::runLcpSm(m, lcpParams(r, true)))};
+         }},
+    };
+    return entries;
+}
+
+} // namespace
+
+const std::vector<AppEntry>&
+appRegistry()
+{
+    return registry();
+}
+
+const AppEntry*
+findApp(std::string_view name)
+{
+    for (const AppEntry& e : registry()) {
+        if (e.name == name)
+            return &e;
+    }
+    return nullptr;
+}
+
+std::string
+appNames()
+{
+    std::string out;
+    for (const AppEntry& e : registry()) {
+        if (!out.empty())
+            out += ", ";
+        out += e.name;
+    }
+    return out;
+}
+
+mp::TreeKind
+parseTree(std::string_view name)
+{
+    if (name == "flat")
+        return mp::TreeKind::Flat;
+    if (name == "binary")
+        return mp::TreeKind::Binary;
+    if (name == "lop")
+        return mp::TreeKind::LopSided;
+    throw std::invalid_argument("unknown collective tree '" +
+                                std::string(name) +
+                                "' (expected flat, binary or lop)");
+}
+
+LaunchResult
+launch(const LaunchSpec& spec, core::ArtifactWriter* art,
+       const std::string& run_name)
+{
+    const AppEntry* app = findApp(spec.app);
+    if (!app) {
+        throw std::invalid_argument("unknown app '" + spec.app +
+                                    "' (expected one of " + appNames() +
+                                    ")");
+    }
+    if (spec.machine != "mp" && spec.machine != "sm") {
+        throw std::invalid_argument("unknown machine '" + spec.machine +
+                                    "' (expected mp or sm)");
+    }
+
+    LaunchResult res;
+    res.isMp = spec.machine == "mp";
+    res.phases = app->phases;
+
+    std::unique_ptr<mp::MpMachine> mpm;
+    std::unique_ptr<sm::SmMachine> smm;
+    if (res.isMp)
+        mpm = std::make_unique<mp::MpMachine>(spec.cfg, spec.tree);
+    else
+        smm = std::make_unique<sm::SmMachine>(spec.cfg);
+    sim::Engine& e = res.isMp ? mpm->engine() : smm->engine();
+
+    if (art)
+        art->attach(e);
+
+    AppOutcome out = res.isMp ? app->runMp(*mpm, spec.req)
+                              : app->runSm(*smm, spec.req);
+    res.note = std::move(out.note);
+
+    if (spec.inject == Inject::Abort)
+        std::abort(); // a crashing child, by request
+    if (spec.inject == Inject::AuditError) {
+        // Seed real corruption so the failure travels the same path a
+        // genuine accounting bug would: collectReport re-runs the
+        // audit sweeps and throws AuditError.
+        e.proc(0).stats().phase(0).cycles[0] += 12345;
+    }
+
+    res.report = core::collectReport(e, res.phases);
+    if (art)
+        art->addRun(run_name.empty() ? spec.app + "-" + spec.machine
+                                     : run_name,
+                    spec.cfg, e, res.report);
+    return res;
+}
+
+} // namespace wwt::exp

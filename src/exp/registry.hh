@@ -1,0 +1,112 @@
+#pragma once
+
+/**
+ * @file
+ * The application registry: every paper application launchable by
+ * name, on either machine, from one place.
+ *
+ * Before the campaign subsystem, each driver re-implemented the same
+ * if/else chain over app names — examples/run_app.cpp, the bench
+ * binaries, and any future batch harness could silently diverge in
+ * which parameters a name accepted or which phases a run reported.
+ * The registry is the single source of truth: one AppEntry per
+ * application (mse, gauss, em3d, lcp, alcp) mapping a generic
+ * AppRequest onto the app's own parameter struct, plus launch(),
+ * which builds the machine, runs the app, and collects the audited
+ * report. run_app and the campaign runner are both thin clients.
+ */
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/metrics.hh"
+#include "core/report.hh"
+#include "mp/collectives.hh"
+
+namespace wwt::mp
+{
+class MpMachine;
+}
+namespace wwt::sm
+{
+class SmMachine;
+}
+
+namespace wwt::exp
+{
+
+/** Generic knobs shared by every application (0 = app default). */
+struct AppRequest {
+    std::size_t size = 0;  ///< bodies (mse), n (gauss/lcp),
+                           ///  nodes/proc (em3d)
+    std::size_t iters = 0; ///< iterations (mse/em3d); ignored elsewhere
+};
+
+/** What a registry run reports beside the machine report. */
+struct AppOutcome {
+    std::string note; ///< e.g. the LCP convergence line; may be empty
+};
+
+/** One launchable application. */
+struct AppEntry {
+    std::string name;
+    std::string blurb; ///< one-line description for --help/errors
+    std::vector<std::string> phases; ///< report phase names
+    AppOutcome (*runMp)(mp::MpMachine&, const AppRequest&);
+    AppOutcome (*runSm)(sm::SmMachine&, const AppRequest&);
+};
+
+/** All registered applications, in presentation order. */
+const std::vector<AppEntry>& appRegistry();
+
+/** Registry lookup; nullptr when @p name is unknown. */
+const AppEntry* findApp(std::string_view name);
+
+/** Comma-separated registered names, for diagnostics. */
+std::string appNames();
+
+/** Failure injection hooks for crash-isolation testing (see
+ *  docs/campaigns.md). None in every production path. */
+enum class Inject : std::uint8_t {
+    None,
+    AuditError, ///< corrupt one stats counter post-run: AuditError
+    Abort,      ///< std::abort() after the run: a crashing child
+};
+
+/** Everything needed to execute one run. */
+struct LaunchSpec {
+    std::string app = "em3d";
+    std::string machine = "mp"; ///< "mp" or "sm"
+    core::MachineConfig cfg = core::MachineConfig::cm5Like();
+    mp::TreeKind tree = mp::TreeKind::LopSided; ///< MP collectives
+    AppRequest req;
+    Inject inject = Inject::None;
+};
+
+/** The audited result of one launch(). */
+struct LaunchResult {
+    core::MachineReport report;
+    std::vector<std::string> phases;
+    std::string note;
+    bool isMp = false; ///< which row/count tables apply
+};
+
+/**
+ * Build the machine described by @p spec, run the named application,
+ * and collect the audited report. When @p art is non-null it is
+ * attached before the run and receives the run afterwards (named
+ * "<app>-<machine>" unless @p run_name overrides it).
+ * @throws std::invalid_argument on an unknown app or machine name;
+ *         audit::AuditError if an audit sweep fails.
+ */
+LaunchResult launch(const LaunchSpec& spec,
+                    core::ArtifactWriter* art = nullptr,
+                    const std::string& run_name = "");
+
+/** Parse "flat"/"binary"/"lop" into a TreeKind.
+ *  @throws std::invalid_argument on anything else. */
+mp::TreeKind parseTree(std::string_view name);
+
+} // namespace wwt::exp

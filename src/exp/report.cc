@@ -1,0 +1,219 @@
+#include "exp/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+namespace wwt::exp
+{
+
+namespace
+{
+
+/** Short column headers, index-aligned with stats::Category. */
+const char* const kShortCategory[] = {
+    "Comp",   "LocMiss", "LibComp", "LibMiss", "NetAcc",
+    "Barrier", "ShMiss",  "WrFault", "TLB",     "SyncC",
+    "SyncM",  "Lock",    "Reduce",  "StartUp",
+};
+static_assert(sizeof(kShortCategory) / sizeof(kShortCategory[0]) ==
+              stats::kNumCategories);
+
+double
+relDrift(double a, double b)
+{
+    double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+    return std::fabs(a - b) / scale;
+}
+
+const double*
+findValue(const std::vector<std::pair<std::string, double>>& kv,
+          const std::string& key)
+{
+    for (const auto& [k, v] : kv) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+int
+reportCampaign(const std::string& dir, std::ostream& os)
+{
+    Store store(dir);
+    std::map<std::string, RunRecord> latest = store.loadLatest();
+    if (latest.empty()) {
+        os << dir << ": no records (run the campaign first)\n";
+        return 1;
+    }
+
+    std::size_t width = 8;
+    for (const auto& [id, rec] : latest)
+        width = std::max(width, id.size());
+
+    int pass = 0, fail = 0, crash = 0, timeout = 0;
+    for (const auto& [id, rec] : latest) {
+        switch (rec.status) {
+          case RunStatus::Pass: ++pass; break;
+          case RunStatus::Fail: ++fail; break;
+          case RunStatus::Crash: ++crash; break;
+          case RunStatus::Timeout: ++timeout; break;
+        }
+    }
+
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "campaign %s: %zu scenarios (%d pass, %d fail, "
+                  "%d crash, %d timeout)\n\n",
+                  dir.c_str(), latest.size(), pass, fail, crash,
+                  timeout);
+    os << line;
+
+    // Header: scenario, status, total, then one column per category
+    // (per-proc Mcycles).
+    std::snprintf(line, sizeof(line), "%-*s %-7s %10s", (int)width,
+                  "scenario", "status", "total(M)");
+    os << line;
+    for (const char* h : kShortCategory) {
+        std::snprintf(line, sizeof(line), " %8s", h);
+        os << line;
+    }
+    os << '\n';
+
+    for (const auto& [id, rec] : latest) {
+        std::snprintf(line, sizeof(line), "%-*s %-7s", (int)width,
+                      id.c_str(), runStatusName(rec.status));
+        os << line;
+        if (rec.status == RunStatus::Crash ||
+            rec.status == RunStatus::Timeout) {
+            os << "   (" << rec.error << ")\n";
+            continue;
+        }
+        std::snprintf(line, sizeof(line), " %10.2f",
+                      rec.totalCyclesPerProc / 1e6);
+        os << line;
+        for (std::size_t i = 0; i < stats::kNumCategories; ++i) {
+            double v = i < rec.cycles.size() ? rec.cycles[i].second : 0;
+            std::snprintf(line, sizeof(line), " %8.2f", v / 1e6);
+            os << line;
+        }
+        os << '\n';
+    }
+    return 0;
+}
+
+int
+diffCampaigns(const std::string& dir_a, const std::string& dir_b,
+              const DiffOptions& opts, std::ostream& os)
+{
+    std::map<std::string, RunRecord> a = Store(dir_a).loadLatest();
+    std::map<std::string, RunRecord> b = Store(dir_b).loadLatest();
+
+    int violations = 0;
+    char line[256];
+    os << "campaign diff: " << dir_a << " vs " << dir_b
+       << " (tolerance " << opts.tolerance << ")\n";
+
+    std::set<std::string> ids;
+    for (const auto& [id, rec] : a)
+        ids.insert(id);
+    for (const auto& [id, rec] : b)
+        ids.insert(id);
+
+    double max_drift = 0;
+    for (const std::string& id : ids) {
+        auto ia = a.find(id);
+        auto ib = b.find(id);
+        if (ia == a.end() || ib == b.end()) {
+            std::snprintf(line, sizeof(line),
+                          "  FAIL %-40s only in %s\n", id.c_str(),
+                          ia == a.end() ? dir_b.c_str()
+                                        : dir_a.c_str());
+            os << line;
+            ++violations;
+            continue;
+        }
+        const RunRecord& ra = ia->second;
+        const RunRecord& rb = ib->second;
+        if (ra.status != rb.status) {
+            std::snprintf(line, sizeof(line),
+                          "  FAIL %-40s status %s vs %s\n", id.c_str(),
+                          runStatusName(ra.status),
+                          runStatusName(rb.status));
+            os << line;
+            ++violations;
+            continue;
+        }
+        if (ra.configHash != rb.configHash) {
+            std::snprintf(line, sizeof(line),
+                          "  FAIL %-40s config hash %s vs %s\n",
+                          id.c_str(), ra.configHash.c_str(),
+                          rb.configHash.c_str());
+            os << line;
+            ++violations;
+            continue;
+        }
+
+        // Compare every cycle category and count present on either
+        // side; a key missing from one record is full drift.
+        int local = 0;
+        auto compare = [&](const std::string& key, const double* va,
+                           const double* vb) {
+            if (!va || !vb) {
+                std::snprintf(line, sizeof(line),
+                              "  FAIL %-40s %s present on one side "
+                              "only\n",
+                              id.c_str(), key.c_str());
+                os << line;
+                ++local;
+                return;
+            }
+            double d = relDrift(*va, *vb);
+            max_drift = std::max(max_drift, d);
+            if (d > opts.tolerance) {
+                std::snprintf(line, sizeof(line),
+                              "  FAIL %-40s %-20s %.6g vs %.6g "
+                              "(drift %.3g)\n",
+                              id.c_str(), key.c_str(), *va, *vb, d);
+                os << line;
+                ++local;
+            }
+        };
+        std::set<std::string> keys;
+        for (const auto& [k, v] : ra.cycles)
+            keys.insert(k);
+        for (const auto& [k, v] : rb.cycles)
+            keys.insert(k);
+        for (const std::string& k : keys)
+            compare(k, findValue(ra.cycles, k), findValue(rb.cycles, k));
+        keys.clear();
+        for (const auto& [k, v] : ra.counts)
+            keys.insert(k);
+        for (const auto& [k, v] : rb.counts)
+            keys.insert(k);
+        for (const std::string& k : keys)
+            compare(k, findValue(ra.counts, k), findValue(rb.counts, k));
+        double ta = ra.totalCyclesPerProc, tb = rb.totalCyclesPerProc;
+        compare("total_cycles_per_proc", &ta, &tb);
+
+        violations += local;
+        if (local == 0) {
+            std::snprintf(line, sizeof(line), "  ok   %-40s\n",
+                          id.c_str());
+            os << line;
+        }
+    }
+
+    std::snprintf(line, sizeof(line),
+                  "diff %s: %zu scenario(s), max relative drift %.3g, "
+                  "%d violation(s)\n",
+                  violations == 0 ? "PASSED" : "FAILED", ids.size(),
+                  max_drift, violations);
+    os << line;
+    return violations;
+}
+
+} // namespace wwt::exp

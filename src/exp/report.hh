@@ -1,0 +1,46 @@
+#pragma once
+
+/**
+ * @file
+ * Campaign reporting: cross-scenario cycle tables and campaign diffs.
+ *
+ * `report` renders the per-category per-proc cycle breakdown of every
+ * scenario in a campaign directory side by side — the paper's table
+ * format turned sideways, one row per scenario — plus a status
+ * summary. `diff` compares two campaign directories scenario by
+ * scenario and flags per-category drift beyond a relative tolerance:
+ * the golden-shape gate generalized to arbitrary scenario sets. For
+ * a deterministic simulator two runs of the same campaign must show
+ * zero drift; CI enforces exactly that.
+ */
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "exp/store.hh"
+
+namespace wwt::exp
+{
+
+/** Render the cross-scenario breakdown table for @p dir.
+ *  @return 0, or 1 when the directory has no records. */
+int reportCampaign(const std::string& dir, std::ostream& os);
+
+/** Diff policy. */
+struct DiffOptions {
+    /** Allowed relative drift per compared value; 0 = byte-exact
+     *  cycles. Relative drift is |a-b| / max(|a|, |b|, 1). */
+    double tolerance = 0.0;
+};
+
+/**
+ * Compare the latest records of @p dir_a and @p dir_b. Reports
+ * per-category cycle drift, count drift, status changes, and
+ * scenarios present on only one side.
+ * @return the number of violations (0 == no drift beyond tolerance).
+ */
+int diffCampaigns(const std::string& dir_a, const std::string& dir_b,
+                  const DiffOptions& opts, std::ostream& os);
+
+} // namespace wwt::exp

@@ -1,0 +1,249 @@
+#include "exp/store.hh"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "audit/shapes.hh"
+#include "trace/json.hh"
+
+namespace wwt::exp
+{
+
+namespace
+{
+
+/** snake_case category key (mirrors scenario.cc's shape metrics). */
+std::string
+snakeCategory(stats::Category c)
+{
+    std::string out;
+    for (char ch : std::string(stats::categoryName(c))) {
+        if (ch == ' ' || ch == '-')
+            out += '_';
+        else
+            out += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(ch)));
+    }
+    return out;
+}
+
+void
+makeDir(const std::string& path)
+{
+    if (::mkdir(path.c_str(), 0777) != 0 && errno != EEXIST)
+        throw std::runtime_error("cannot create directory " + path +
+                                 ": " + std::strerror(errno));
+}
+
+double
+numberOr(const audit::JsonValue& obj, const std::string& key,
+         double fallback)
+{
+    const audit::JsonValue* v = obj.find(key);
+    return v && v->kind == audit::JsonValue::Kind::Number ? v->number
+                                                          : fallback;
+}
+
+std::string
+stringOr(const audit::JsonValue& obj, const std::string& key,
+         const std::string& fallback)
+{
+    const audit::JsonValue* v = obj.find(key);
+    return v && v->kind == audit::JsonValue::Kind::String ? v->string
+                                                          : fallback;
+}
+
+} // namespace
+
+const char*
+runStatusName(RunStatus s)
+{
+    switch (s) {
+      case RunStatus::Pass: return "pass";
+      case RunStatus::Fail: return "fail";
+      case RunStatus::Crash: return "crash";
+      case RunStatus::Timeout: return "timeout";
+    }
+    return "?";
+}
+
+void
+RunRecord::setReport(const core::MachineReport& rep)
+{
+    elapsedCycles = static_cast<double>(rep.elapsed);
+    totalCyclesPerProc = rep.totalCycles();
+    cycles.clear();
+    for (std::size_t i = 0; i < stats::kNumCategories; ++i) {
+        auto cat = static_cast<stats::Category>(i);
+        cycles.emplace_back(snakeCategory(cat), rep.cycles(cat));
+    }
+    stats::Counts c = rep.counts();
+    counts.clear();
+    counts.emplace_back("priv_misses",
+                        static_cast<double>(c.privMisses));
+    counts.emplace_back("shared_miss_local",
+                        static_cast<double>(c.sharedMissLocal));
+    counts.emplace_back("shared_miss_remote",
+                        static_cast<double>(c.sharedMissRemote));
+    counts.emplace_back("write_faults",
+                        static_cast<double>(c.writeFaults));
+    counts.emplace_back("tlb_misses",
+                        static_cast<double>(c.tlbMisses));
+    counts.emplace_back("packets_sent",
+                        static_cast<double>(c.packetsSent));
+    counts.emplace_back("channel_writes",
+                        static_cast<double>(c.channelWrites));
+    counts.emplace_back("proto_msgs", static_cast<double>(c.protoMsgs));
+    counts.emplace_back("bytes_data", static_cast<double>(c.bytesData));
+    counts.emplace_back("bytes_ctrl", static_cast<double>(c.bytesCtrl));
+    counts.emplace_back("lock_acquires",
+                        static_cast<double>(c.lockAcquires));
+    counts.emplace_back("barriers", static_cast<double>(c.barriers));
+}
+
+std::string
+RunRecord::toJsonLine() const
+{
+    std::ostringstream os;
+    {
+        trace::JsonWriter w(os, /*pretty=*/false);
+        w.beginObject();
+        w.kv("schema", "wwtcmp.campaign-record/1");
+        w.kv("scenario", scenario);
+        w.kv("config_hash", configHash);
+        w.kv("status", runStatusName(status));
+        w.kv("attempts", attempts);
+        w.kv("app", app);
+        w.kv("machine", machine);
+        w.kv("elapsed_cycles", elapsedCycles);
+        w.kv("total_cycles_per_proc", totalCyclesPerProc);
+        w.key("cycles_per_proc").beginObject();
+        for (const auto& [k, v] : cycles)
+            w.kv(k, v);
+        w.endObject();
+        w.key("counts").beginObject();
+        for (const auto& [k, v] : counts)
+            w.kv(k, v);
+        w.endObject();
+        w.kv("metrics", metricsPath);
+        w.kv("shape_violations", shapeViolations);
+        w.kv("error", error);
+        w.endObject();
+    }
+    return os.str();
+}
+
+RunRecord
+RunRecord::fromJsonLine(const std::string& line)
+{
+    audit::JsonValue doc = audit::parseJson(line);
+    if (doc.kind != audit::JsonValue::Kind::Object)
+        throw std::runtime_error("record line is not an object");
+    if (stringOr(doc, "schema", "") != "wwtcmp.campaign-record/1")
+        throw std::runtime_error(
+            "record schema is not wwtcmp.campaign-record/1");
+
+    RunRecord r;
+    r.scenario = stringOr(doc, "scenario", "");
+    if (r.scenario.empty())
+        throw std::runtime_error("record lacks a scenario id");
+    r.configHash = stringOr(doc, "config_hash", "");
+    std::string status = stringOr(doc, "status", "");
+    if (status == "pass")
+        r.status = RunStatus::Pass;
+    else if (status == "fail")
+        r.status = RunStatus::Fail;
+    else if (status == "crash")
+        r.status = RunStatus::Crash;
+    else if (status == "timeout")
+        r.status = RunStatus::Timeout;
+    else
+        throw std::runtime_error("record has unknown status \"" +
+                                 status + "\"");
+    r.attempts = static_cast<int>(numberOr(doc, "attempts", 1));
+    r.app = stringOr(doc, "app", "");
+    r.machine = stringOr(doc, "machine", "");
+    r.elapsedCycles = numberOr(doc, "elapsed_cycles", 0);
+    r.totalCyclesPerProc = numberOr(doc, "total_cycles_per_proc", 0);
+    if (const audit::JsonValue* cy = doc.find("cycles_per_proc")) {
+        for (const auto& [k, v] : cy->object)
+            r.cycles.emplace_back(k, v.number);
+    }
+    if (const audit::JsonValue* ct = doc.find("counts")) {
+        for (const auto& [k, v] : ct->object)
+            r.counts.emplace_back(k, v.number);
+    }
+    r.metricsPath = stringOr(doc, "metrics", "");
+    r.shapeViolations =
+        static_cast<int>(numberOr(doc, "shape_violations", 0));
+    r.error = stringOr(doc, "error", "");
+    return r;
+}
+
+bool
+Store::exists() const
+{
+    struct stat st{};
+    return ::stat(resultsPath().c_str(), &st) == 0;
+}
+
+void
+Store::create() const
+{
+    makeDir(dir_);
+    makeDir(dir_ + "/logs");
+    makeDir(dir_ + "/metrics");
+    makeDir(dir_ + "/tmp");
+}
+
+void
+Store::append(const RunRecord& rec) const
+{
+    std::ofstream os(resultsPath(), std::ios::app);
+    if (!os)
+        throw std::runtime_error("cannot append to " + resultsPath());
+    os << rec.toJsonLine() << '\n';
+}
+
+std::map<std::string, RunRecord>
+Store::loadLatest() const
+{
+    std::map<std::string, RunRecord> latest;
+    std::ifstream in(resultsPath());
+    if (!in)
+        return latest;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        try {
+            RunRecord r = RunRecord::fromJsonLine(line);
+            latest.insert_or_assign(r.scenario, std::move(r));
+        } catch (const std::exception& e) {
+            throw std::runtime_error(resultsPath() + ":" +
+                                     std::to_string(lineno) + ": " +
+                                     e.what());
+        }
+    }
+    return latest;
+}
+
+bool
+Store::satisfiedBy(const std::map<std::string, RunRecord>& latest,
+                   const Scenario& s) const
+{
+    auto it = latest.find(s.id);
+    return it != latest.end() && it->second.status == RunStatus::Pass &&
+           it->second.configHash == s.configHash();
+}
+
+} // namespace wwt::exp

@@ -1,0 +1,130 @@
+#pragma once
+
+/**
+ * @file
+ * The campaign result store.
+ *
+ * A campaign directory holds everything one campaign execution
+ * produced:
+ *
+ *   <dir>/results.jsonl   one JSON record per finished run attempt
+ *   <dir>/logs/<id>.log   child stdout+stderr, one file per scenario
+ *   <dir>/metrics/<id>.json  full wwtcmp.metrics/1 manifest per run
+ *   <dir>/tmp/            child-written records before validation
+ *
+ * Records (schema "wwtcmp.campaign-record/1") carry the scenario id,
+ * the scenario's config hash, the pass/fail/crash/timeout status, the
+ * per-category cycle breakdown and event counts, and the path of the
+ * metrics manifest. Only the parent process appends to results.jsonl
+ * (children write to tmp/ and the parent validates before adopting),
+ * so the file needs no locking. The *last* record per scenario id
+ * wins: a resumed campaign appends fresh records for re-run scenarios
+ * and the readers fold the file into latest-per-id.
+ *
+ * Resume contract: a scenario is skipped iff its latest record has
+ * status "pass" AND the stored config hash matches the scenario's
+ * current hash — editing the campaign file invalidates exactly the
+ * records whose scenarios changed.
+ */
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/report.hh"
+#include "exp/scenario.hh"
+
+namespace wwt::exp
+{
+
+/** Terminal status of one scenario execution. */
+enum class RunStatus : std::uint8_t {
+    Pass,    ///< ran to completion, audits and shape bands hold
+    Fail,    ///< deterministic failure (AuditError, shape drift)
+    Crash,   ///< child died on a signal and retries ran out
+    Timeout, ///< child exceeded its wall-clock budget, retries out
+};
+
+const char* runStatusName(RunStatus s);
+
+/** One line of results.jsonl. */
+struct RunRecord {
+    std::string scenario;
+    std::string configHash;
+    RunStatus status = RunStatus::Pass;
+    int attempts = 1;
+    std::string app;
+    std::string machine;
+    double elapsedCycles = 0;        ///< simulated clock at the end
+    double totalCyclesPerProc = 0;   ///< per-proc average total
+    /** Per-category per-proc cycles, snake_case key order. */
+    std::vector<std::pair<std::string, double>> cycles;
+    /** Summed event counts (subset that the diff verb compares). */
+    std::vector<std::pair<std::string, double>> counts;
+    std::string metricsPath; ///< relative to the campaign dir; may be ""
+    int shapeViolations = 0;
+    std::string error; ///< diagnostic for fail/crash/timeout
+
+    /** Serialize as one compact JSON line (no trailing newline). */
+    std::string toJsonLine() const;
+
+    /** Parse one results.jsonl line.
+     *  @throws std::runtime_error on malformed input. */
+    static RunRecord fromJsonLine(const std::string& line);
+
+    /** Fill breakdown fields from a finished report. */
+    void setReport(const core::MachineReport& rep);
+};
+
+/** A campaign directory. */
+class Store
+{
+  public:
+    explicit Store(std::string dir) : dir_(std::move(dir)) {}
+
+    const std::string& dir() const { return dir_; }
+
+    /** True if the directory already holds a results file. */
+    bool exists() const;
+
+    /** Create the directory layout (idempotent).
+     *  @throws std::runtime_error when a directory cannot be made. */
+    void create() const;
+
+    /** Append one validated record (parent only). */
+    void append(const RunRecord& rec) const;
+
+    /**
+     * Load results.jsonl folded to the latest record per scenario id.
+     * Returns an empty map when the file does not exist.
+     * @throws std::runtime_error on a malformed line.
+     */
+    std::map<std::string, RunRecord> loadLatest() const;
+
+    /**
+     * True when @p s can be skipped on resume: its latest record
+     * passed and the config hash still matches.
+     */
+    bool satisfiedBy(const std::map<std::string, RunRecord>& latest,
+                     const Scenario& s) const;
+
+    std::string resultsPath() const { return dir_ + "/results.jsonl"; }
+    std::string logPath(const std::string& id) const
+    {
+        return dir_ + "/logs/" + id + ".log";
+    }
+    std::string metricsPath(const std::string& id) const
+    {
+        return dir_ + "/metrics/" + id + ".json";
+    }
+    std::string tmpRecordPath(const std::string& id) const
+    {
+        return dir_ + "/tmp/" + id + ".json";
+    }
+
+  private:
+    std::string dir_;
+};
+
+} // namespace wwt::exp

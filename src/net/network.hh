@@ -26,6 +26,13 @@
 namespace wwt::net
 {
 
+/**
+ * Sentinel returned by Network::deliver when the arrival time is not
+ * yet known because the contended computation was deferred to the
+ * quantum rendezvous. Never a valid timestamp.
+ */
+inline constexpr Cycle kArrivalDeferred = ~Cycle{0};
+
 /** Constant-latency interconnect with optional link occupancy. */
 class Network
 {
@@ -66,9 +73,14 @@ class Network
      * link times update in the sequential (processor id, program
      * order) interleaving.
      *
-     * @return the arrival timestamp; nominal (uncontended) when the
-     *         contended computation was deferred. No caller consumes
-     *         the contended value.
+     * @return the arrival timestamp, or kArrivalDeferred when the
+     *         contended computation was pushed to the quantum
+     *         rendezvous and the real arrival time is not yet known.
+     *         Invariant: callers that consume the return value must
+     *         either run on a non-deferring engine (gap == 0 follows
+     *         the immediate path everywhere) or check for the
+     *         sentinel — the pre-sentinel contract silently returned
+     *         a nominal, possibly-wrong timestamp here.
      */
     Cycle
     deliver(Cycle now, NodeId from, NodeId to, std::function<void()> fn)
@@ -83,7 +95,7 @@ class Network
                            fn = std::move(fn)]() mutable {
                 deliver(now, from, to, std::move(fn));
             });
-            return now + latency_;
+            return kArrivalDeferred;
         }
         Cycle depart = std::max(now, lastInject_[from] + gap_);
         lastInject_[from] = depart;

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/parse.hh"
 #include "core/report.hh"
 #include "mem/allocator.hh"
 #include "mem/address_map.hh"
@@ -168,4 +169,41 @@ TEST(PhaseEdge, UnevenPhaseCountsAcrossProcs)
     EXPECT_DOUBLE_EQ(rep.totalCycles(0), 15.0); // (10 + 20) / 2
     EXPECT_DOUBLE_EQ(rep.totalCycles(1), 0.0);
     EXPECT_DOUBLE_EQ(rep.totalCycles(2), 15.0);
+}
+
+TEST(ParseEdge, RejectsSignsWhitespaceAndBasePrefixes)
+{
+    // parseCount is deliberately stricter than strtoul: anything but
+    // a plain decimal digit string is junk, including forms strtoul
+    // would happily accept.
+    std::uint64_t v = 0;
+    EXPECT_FALSE(core::parseCount("+5", v));
+    EXPECT_FALSE(core::parseCount("-5", v));
+    EXPECT_FALSE(core::parseCount(" 5", v));
+    EXPECT_FALSE(core::parseCount("5 ", v));
+    EXPECT_FALSE(core::parseCount("\t5", v));
+    EXPECT_FALSE(core::parseCount("0x10", v));
+    EXPECT_FALSE(core::parseCount("10h", v));
+    EXPECT_FALSE(core::parseCount("", v));
+    EXPECT_EQ(v, 0u); // rejected inputs never write the output
+}
+
+TEST(ParseEdge, ExactUint64BoundaryRoundTrips)
+{
+    std::uint64_t v = 0;
+    EXPECT_TRUE(core::parseCount("18446744073709551615", v));
+    EXPECT_EQ(v, UINT64_MAX);
+    // One past the boundary overflows; so does any longer string.
+    EXPECT_FALSE(core::parseCount("18446744073709551616", v));
+    EXPECT_FALSE(core::parseCount("99999999999999999999", v));
+    EXPECT_EQ(v, UINT64_MAX); // failed parse leaves the last value
+}
+
+TEST(ParseEdge, LeadingZerosAreDecimalNotOctal)
+{
+    std::uint64_t v = 0;
+    EXPECT_TRUE(core::parseCount("0010", v));
+    EXPECT_EQ(v, 10u);
+    EXPECT_TRUE(core::parseCount("0", v));
+    EXPECT_EQ(v, 0u);
 }
