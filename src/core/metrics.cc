@@ -93,6 +93,52 @@ writeHistogram(trace::JsonWriter& w, const HistogramReport& h)
 }
 
 void
+writePerProc(trace::JsonWriter& w, const MachineReport& rep)
+{
+    w.key("per_proc").beginArray();
+    for (std::size_t p = 0; p < rep.procCycles.size(); ++p) {
+        w.beginObject();
+        w.kv("proc", static_cast<std::uint64_t>(p));
+        std::uint64_t total = 0;
+        for (std::uint64_t c : rep.procCycles[p])
+            total += c;
+        w.kv("total_cycles", total);
+        w.key("cycles").beginObject();
+        for (std::size_t c = 0; c < stats::kNumCategories; ++c) {
+            w.kv(stats::categoryName(static_cast<stats::Category>(c)),
+                 rep.procCycles[p][c]);
+        }
+        w.endObject();
+        w.key("counts");
+        writeCounts(w, rep.procCounts[p]);
+        w.endObject();
+    }
+    w.endArray();
+}
+
+void
+writeTimelines(trace::JsonWriter& w, const MachineReport& rep)
+{
+    w.key("timelines").beginArray();
+    for (const TimelineReport& tl : rep.timelines) {
+        w.beginObject();
+        w.kv("name", tl.name);
+        w.kv("unit", "cycles");
+        w.kv("window_cycles", static_cast<std::uint64_t>(tl.window));
+        w.key("per_proc").beginArray();
+        for (const auto& windows : tl.perProc) {
+            w.beginArray();
+            for (std::uint64_t v : windows)
+                w.value(v);
+            w.endArray();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+}
+
+void
 writeRun(trace::JsonWriter& w, const RunMetrics& run)
 {
     const MachineReport& rep = run.report;
@@ -136,6 +182,11 @@ writeRun(trace::JsonWriter& w, const RunMetrics& run)
     for (const auto& h : rep.histograms)
         writeHistogram(w, h);
     w.endArray();
+
+    // Schema /2 additions (docs/observability.md): raw per-processor
+    // vectors and, when the run was traced, wait timelines.
+    writePerProc(w, rep);
+    writeTimelines(w, rep);
     w.endObject();
 }
 
@@ -146,7 +197,7 @@ writeMetricsJson(std::ostream& os, const std::vector<RunMetrics>& runs)
 {
     trace::JsonWriter w(os, /*pretty=*/true);
     w.beginObject();
-    w.kv("schema", "wwtcmp.metrics/1");
+    w.kv("schema", "wwtcmp.metrics/2");
     w.kv("generator", "wwtcmp");
     w.key("runs").beginArray();
     for (const auto& run : runs)

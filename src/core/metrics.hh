@@ -8,9 +8,12 @@
  * gives the same data a machine-readable producer so the performance
  * trajectory can be tracked run over run:
  *
- *  - writeMetricsJson(): a run manifest (schema "wwtcmp.metrics/1")
+ *  - writeMetricsJson(): a run manifest (schema "wwtcmp.metrics/2")
  *    with the machine configuration, per-phase per-category cycles,
- *    event counts, and latency histograms for each run in the binary.
+ *    event counts, latency histograms, per-processor cycle/count
+ *    vectors, and wait timelines for each run in the binary. Readers
+ *    (exp/analyze) keep accepting "/1" manifests, which simply lack
+ *    the per-processor sections.
  *  - ArtifactWriter: the driver-side helper behind the shared
  *    `--trace=FILE` / `--metrics=FILE` flags. It enables tracing on
  *    each engine, snapshots the flight recorder after every run, and

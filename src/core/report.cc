@@ -62,6 +62,30 @@ collectReport(sim::Engine& engine, std::vector<std::string> phase_names)
             rep.histograms.push_back(
                 {trace::latencyKindName(kind), tr->histogram(kind)});
         }
+        for (std::size_t k = 0; k < trace::kNumTimelineKinds; ++k) {
+            auto kind = static_cast<trace::TimelineKind>(k);
+            // Common window width: the coarsest across processors
+            // (widths are kInitialWindow * 2^n, so folding is exact).
+            Cycle window = trace::Timeline::kInitialWindow;
+            for (NodeId p = 0; p < rep.nprocs; ++p)
+                window = std::max(window, tr->timeline(p, kind).window());
+            TimelineReport tl;
+            tl.name = trace::timelineKindName(kind);
+            tl.window = window;
+            std::size_t windows = 0;
+            std::vector<trace::Timeline> folded;
+            for (NodeId p = 0; p < rep.nprocs; ++p) {
+                folded.push_back(tr->timeline(p, kind));
+                folded.back().foldTo(window);
+                windows = std::max(windows, folded.back().size());
+            }
+            for (const trace::Timeline& t : folded) {
+                tl.perProc.emplace_back();
+                for (std::size_t w = 0; w < windows; ++w)
+                    tl.perProc.back().push_back(t.at(w));
+            }
+            rep.timelines.push_back(std::move(tl));
+        }
     }
 
     std::size_t nphases = 1;
@@ -85,6 +109,9 @@ collectReport(sim::Engine& engine, std::vector<std::string> phase_names)
             }
             rep.phaseCounts[ph] += s.counts;
         }
+        stats::PhaseStats total = ps.total();
+        rep.procCycles.push_back(total.cycles);
+        rep.procCounts.push_back(total.counts);
     }
     return rep;
 }

@@ -32,6 +32,21 @@ struct HistogramReport {
     trace::LogHistogram hist;
 };
 
+/**
+ * One named wait timeline gathered from the flight recorder: for each
+ * processor, accumulated wait cycles per fixed-width window of
+ * simulated time. All processors share one window width (per-track
+ * timelines are folded to the coarsest width on collection), so
+ * `perProc[p][w]` values are directly comparable across processors —
+ * the input the desynchronization-wave detector needs.
+ */
+struct TimelineReport {
+    std::string name;  ///< snake-case timelineKindName
+    Cycle window = 0;  ///< window width in cycles
+    /** perProc[p][w] = wait cycles of processor p in window w. */
+    std::vector<std::vector<std::uint64_t>> perProc;
+};
+
 /** Averaged (over processors) statistics for one run. */
 struct MachineReport {
     std::size_t nprocs = 0;
@@ -44,6 +59,17 @@ struct MachineReport {
     std::uint64_t eventsExecuted = 0;
     /** Latency histograms; empty unless the engine was tracing. */
     std::vector<HistogramReport> histograms;
+    /** Wait timelines; empty unless the engine was tracing. */
+    std::vector<TimelineReport> timelines;
+    /**
+     * Per-processor totals (cycles by category, event counts) — the
+     * raw vectors behind the averaged tables above. Always collected:
+     * the outlier-processor analysis clusters these, and the paper's
+     * per-processor question ("is the breakdown uniform?") cannot be
+     * answered from averages.
+     */
+    std::vector<stats::CategoryCycles> procCycles;
+    std::vector<stats::Counts> procCounts;
 
     /** Average cycles in @p cat for phase @p phase (-1 = all). */
     double cycles(stats::Category cat, int phase = -1) const;

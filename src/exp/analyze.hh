@@ -1,0 +1,72 @@
+#pragma once
+
+/**
+ * @file
+ * Automated performance-debugging analytics over the result store.
+ *
+ * `wwtcmp_campaign analyze <dir>` reads a finished campaign's result
+ * store and per-scenario metrics manifests and answers the questions
+ * a performance debugger asks first:
+ *
+ *  - Outlier processors: which processors spend their cycles
+ *    differently from the rest of the machine, and in which
+ *    categories? Per-processor category vectors are normalized to
+ *    shares and clustered (single linkage on L1 distance, with fixed
+ *    tie-breaking, so the result is byte-deterministic); processors
+ *    whose cluster is a small minority are flagged together with the
+ *    categories that separate them from the majority.
+ *
+ *  - Desynchronization waves: windows of simulated time where
+ *    barrier-wait (or channel) skew across processors exceeds a band,
+ *    reported with onset time, the leading processor (the straggler
+ *    the others wait for), the direction of the wavefront across
+ *    processor ids, and the category absorbing the skew.
+ *
+ *  - Narrative campaign diff (`--baseline <dirA>`): joins two result
+ *    stores by scenario id, groups matched pairs by the set of config
+ *    keys that actually changed, and attributes per-category cycle
+ *    deltas to those keys — a ranked "where did the time go"
+ *    report.
+ *
+ * Output is a human-readable text report plus an optional JSON
+ * document (schema "wwtcmp.analysis/1", byte-deterministic for
+ * deterministic stores). Manifests with schema "wwtcmp.metrics/1"
+ * are accepted; they lack per-processor vectors and timelines, so
+ * the corresponding analyses are skipped with a note.
+ */
+
+#include <ostream>
+#include <string>
+
+namespace wwt::exp
+{
+
+/** Analysis policy (all thresholds have sane defaults). */
+struct AnalyzeOptions {
+    /**
+     * Single-linkage merge threshold on the L1 distance between
+     * per-processor category *share* vectors (so 0.08 means clusters
+     * within 8 share-points of each other merge).
+     */
+    double outlierEps = 0.08;
+    /**
+     * Wave threshold: a window is desynchronized when
+     * (max - min wait across processors) / window width exceeds this.
+     */
+    double skewBand = 0.25;
+    /** Baseline campaign directory; empty = no baseline diff. */
+    std::string baselineDir;
+    /** Write the wwtcmp.analysis/1 JSON here; empty = text only. */
+    std::string jsonPath;
+};
+
+/**
+ * Analyze the campaign at @p dir, writing the text report to @p os.
+ * @return 0 on success (findings included), 1 when @p dir (or the
+ *         baseline) has no result store, 2 when the JSON output file
+ *         cannot be written.
+ */
+int analyzeCampaign(const std::string& dir, const AnalyzeOptions& opts,
+                    std::ostream& os);
+
+} // namespace wwt::exp

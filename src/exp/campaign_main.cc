@@ -7,8 +7,10 @@
  *                   [--chaos-kill ID]
  *   wwtcmp_campaign resume <campaign.json> [same flags]
  *   wwtcmp_campaign list <campaign.json> [--profile P]
- *   wwtcmp_campaign report <dir>
+ *   wwtcmp_campaign report <dir> [--format text|json|csv]
  *   wwtcmp_campaign diff <dirA> <dirB> [--tol X]
+ *   wwtcmp_campaign analyze <dir> [--baseline DIR] [--json FILE]
+ *                   [--outlier-eps X] [--skew-band X]
  *
  * `run` executes every expanded scenario of the campaign file in
  * crash-isolated parallel child processes (each child is this binary
@@ -16,14 +18,18 @@
  * result per run under the campaign directory. `resume` skips
  * scenarios whose stored records pass and still match the campaign
  * file's config hash, and re-runs the rest. `report` renders the
- * cross-scenario cycle table; `diff` compares two campaign
- * directories and fails on drift beyond the tolerance. See
- * docs/campaigns.md for the file and record schemas.
+ * cross-scenario cycle table (text, JSON or CSV); `diff` compares
+ * two campaign directories and fails on drift beyond the tolerance;
+ * `analyze` runs the performance-debugging analytics (outlier
+ * processors, desynchronization waves, baseline attribution — see
+ * docs/analytics.md). See docs/campaigns.md for the file and record
+ * schemas.
  */
 
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -31,6 +37,7 @@
 
 #include "audit/check.hh"
 #include "core/parse.hh"
+#include "exp/analyze.hh"
 #include "exp/registry.hh"
 #include "exp/report.hh"
 #include "exp/runner.hh"
@@ -55,8 +62,12 @@ usage(const char* msg = nullptr)
         "[--chaos-kill ID]\n"
         "       wwtcmp_campaign resume <campaign.json> [same flags]\n"
         "       wwtcmp_campaign list   <campaign.json> [--profile P]\n"
-        "       wwtcmp_campaign report <dir>\n"
+        "       wwtcmp_campaign report <dir> [--format text|json|csv]\n"
         "       wwtcmp_campaign diff   <dirA> <dirB> [--tol X]\n"
+        "       wwtcmp_campaign analyze <dir> [--baseline DIR] "
+        "[--json FILE]\n"
+        "                               [--outlier-eps X] "
+        "[--skew-band X]\n"
         "apps: %s\n",
         exp::appNames().c_str());
     return 2;
@@ -85,9 +96,27 @@ struct Cli {
     int retriesOverride = -1;
     std::string chaosKillId;
     double tolerance = 0.0;
+    exp::ReportFormat format = exp::ReportFormat::Text;
+    exp::AnalyzeOptions analyze;
     // --run-one internals
     std::string scenarioId;
 };
+
+/** Strict non-negative double flag value (core/parse.hh spirit). */
+double
+requireNonNegative(const char* flag, const char* v)
+{
+    char* end = nullptr;
+    double x = std::strtod(v, &end);
+    if (end == v || *end || !(x >= 0)) {
+        std::fprintf(stderr,
+                     "error: %s expects a non-negative number, "
+                     "got '%s'\n",
+                     flag, v);
+        std::exit(2);
+    }
+    return x;
+}
 
 bool
 parseCli(int argc, char** argv, Cli& c)
@@ -119,16 +148,33 @@ parseCli(int argc, char** argv, Cli& c)
         } else if (!std::strcmp(argv[i], "--chaos-kill")) {
             c.chaosKillId = value("--chaos-kill");
         } else if (!std::strcmp(argv[i], "--tol")) {
-            const char* v = value("--tol");
-            char* end = nullptr;
-            c.tolerance = std::strtod(v, &end);
-            if (end == v || *end || c.tolerance < 0) {
+            c.tolerance = requireNonNegative("--tol", value("--tol"));
+        } else if (!std::strcmp(argv[i], "--format")) {
+            const char* v = value("--format");
+            if (!std::strcmp(v, "text")) {
+                c.format = exp::ReportFormat::Text;
+            } else if (!std::strcmp(v, "json")) {
+                c.format = exp::ReportFormat::Json;
+            } else if (!std::strcmp(v, "csv")) {
+                c.format = exp::ReportFormat::Csv;
+            } else {
                 std::fprintf(stderr,
-                             "error: --tol expects a non-negative "
-                             "number, got '%s'\n",
+                             "error: --format expects text, json or "
+                             "csv, got '%s'\n",
                              v);
                 std::exit(2);
             }
+        } else if (!std::strcmp(argv[i], "--baseline")) {
+            c.analyze.baselineDir = value("--baseline");
+        } else if (!std::strcmp(argv[i], "--json")) {
+            c.analyze.jsonPath = value("--json");
+        } else if (!std::strcmp(argv[i], "--outlier-eps")) {
+            c.analyze.outlierEps =
+                requireNonNegative("--outlier-eps",
+                                   value("--outlier-eps"));
+        } else if (!std::strcmp(argv[i], "--skew-band")) {
+            c.analyze.skewBand = requireNonNegative(
+                "--skew-band", value("--skew-band"));
         } else if (!std::strcmp(argv[i], "--scenario")) {
             c.scenarioId = value("--scenario");
         } else if (argv[i][0] == '-') {
@@ -173,6 +219,7 @@ runOne(const Cli& cli)
     rec.configHash = s->configHash();
     rec.app = s->app;
     rec.machine = s->machine;
+    rec.config = s->configKeyValues();
     rec.metricsPath = "metrics/" + s->id + ".json";
 
     try {
@@ -400,7 +447,14 @@ main(int argc, char** argv)
         if (cli.verb == "report") {
             if (cli.positional.size() != 1)
                 return usage("report needs exactly one directory");
-            return exp::reportCampaign(cli.positional[0], std::cout);
+            return exp::reportCampaign(cli.positional[0], std::cout,
+                                       cli.format);
+        }
+        if (cli.verb == "analyze") {
+            if (cli.positional.size() != 1)
+                return usage("analyze needs exactly one directory");
+            return exp::analyzeCampaign(cli.positional[0],
+                                        cli.analyze, std::cout);
         }
         if (cli.verb == "diff") {
             if (cli.positional.size() != 2)

@@ -1,9 +1,12 @@
 #include "exp/report.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <set>
+
+#include "trace/json.hh"
 
 namespace wwt::exp
 {
@@ -38,16 +41,115 @@ findValue(const std::vector<std::pair<std::string, double>>& kv,
     return nullptr;
 }
 
+/** Escape one CSV field (quotes only when the field needs them). */
+std::string
+csvField(const std::string& s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+reportJson(const std::map<std::string, RunRecord>& latest,
+           std::ostream& os)
+{
+    trace::JsonWriter w(os, /*pretty=*/true);
+    w.beginObject();
+    w.kv("schema", "wwtcmp.campaign-report/1");
+    w.key("scenarios").beginArray();
+    for (const auto& [id, rec] : latest) {
+        w.beginObject();
+        w.kv("id", id);
+        w.kv("status", runStatusName(rec.status));
+        w.kv("config_hash", rec.configHash);
+        w.kv("app", rec.app);
+        w.kv("machine", rec.machine);
+        w.kv("attempts", rec.attempts);
+        w.key("config").beginObject();
+        for (const auto& [k, v] : rec.config)
+            w.kv(k, v);
+        w.endObject();
+        w.kv("elapsed_cycles", rec.elapsedCycles);
+        w.kv("total_cycles_per_proc", rec.totalCyclesPerProc);
+        w.key("cycles_per_proc").beginObject();
+        for (const auto& [k, v] : rec.cycles)
+            w.kv(k, v);
+        w.endObject();
+        w.key("counts").beginObject();
+        for (const auto& [k, v] : rec.counts)
+            w.kv(k, v);
+        w.endObject();
+        w.kv("shape_violations", rec.shapeViolations);
+        w.kv("error", rec.error);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
+reportCsv(const std::map<std::string, RunRecord>& latest,
+          std::ostream& os)
+{
+    // Header: fixed columns, then the category columns in enum order
+    // (every record writes them in that order).
+    os << "scenario,status,app,machine,attempts,total_cycles_per_proc";
+    for (std::size_t i = 0; i < stats::kNumCategories; ++i) {
+        auto cat = static_cast<stats::Category>(i);
+        std::string name(stats::categoryName(cat));
+        for (char& c : name) {
+            if (c == ' ' || c == '-')
+                c = '_';
+            c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        }
+        os << ',' << name;
+    }
+    os << '\n';
+    char num[40];
+    for (const auto& [id, rec] : latest) {
+        os << csvField(id) << ',' << runStatusName(rec.status) << ','
+           << csvField(rec.app) << ',' << csvField(rec.machine) << ','
+           << rec.attempts;
+        std::snprintf(num, sizeof(num), "%.17g",
+                      rec.totalCyclesPerProc);
+        os << ',' << num;
+        for (std::size_t i = 0; i < stats::kNumCategories; ++i) {
+            double v = i < rec.cycles.size() ? rec.cycles[i].second : 0;
+            std::snprintf(num, sizeof(num), "%.17g", v);
+            os << ',' << num;
+        }
+        os << '\n';
+    }
+}
+
 } // namespace
 
 int
-reportCampaign(const std::string& dir, std::ostream& os)
+reportCampaign(const std::string& dir, std::ostream& os,
+               ReportFormat format)
 {
     Store store(dir);
     std::map<std::string, RunRecord> latest = store.loadLatest();
     if (latest.empty()) {
         os << dir << ": no records (run the campaign first)\n";
         return 1;
+    }
+    if (format == ReportFormat::Json) {
+        reportJson(latest, os);
+        return 0;
+    }
+    if (format == ReportFormat::Csv) {
+        reportCsv(latest, os);
+        return 0;
     }
 
     std::size_t width = 8;

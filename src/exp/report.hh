@@ -23,9 +23,18 @@
 namespace wwt::exp
 {
 
-/** Render the cross-scenario breakdown table for @p dir.
+/** Output format of the report verb. */
+enum class ReportFormat : std::uint8_t {
+    Text, ///< the human-readable table
+    Json, ///< one object per scenario, full record fields
+    Csv,  ///< one row per scenario, category columns
+};
+
+/** Render the cross-scenario breakdown table for @p dir. Every
+ *  format folds the store the same way (latest record per id).
  *  @return 0, or 1 when the directory has no records. */
-int reportCampaign(const std::string& dir, std::ostream& os);
+int reportCampaign(const std::string& dir, std::ostream& os,
+                   ReportFormat format = ReportFormat::Text);
 
 /** Diff policy. */
 struct DiffOptions {

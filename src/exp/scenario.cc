@@ -367,15 +367,32 @@ Scenario::launchSpec() const
     return spec;
 }
 
+std::vector<std::pair<std::string, std::string>>
+Scenario::configKeyValues() const
+{
+    return {
+        {"app", app},
+        {"machine", machine},
+        {"procs", std::to_string(procs)},
+        {"cache_kb", std::to_string(cacheKb)},
+        {"net_gap", std::to_string(netGap)},
+        {"local_alloc", localAlloc ? "1" : "0"},
+        {"tree", tree},
+        {"host_threads", std::to_string(hostThreads)},
+        {"size", std::to_string(size)},
+        {"iters", std::to_string(iters)},
+    };
+}
+
 std::string
 Scenario::configHash() const
 {
     std::ostringstream os;
-    os << "app=" << app << ";machine=" << machine << ";procs=" << procs
-       << ";cache_kb=" << cacheKb << ";net_gap=" << netGap
-       << ";local_alloc=" << (localAlloc ? 1 : 0) << ";tree=" << tree
-       << ";host_threads=" << hostThreads << ";size=" << size
-       << ";iters=" << iters;
+    bool first = true;
+    for (const auto& [k, v] : configKeyValues()) {
+        os << (first ? "" : ";") << k << "=" << v;
+        first = false;
+    }
     std::string text = os.str();
     std::uint64_t h = 1469598103934665603ull; // FNV-1a offset basis
     for (char c : text) {

@@ -86,6 +86,15 @@ struct Scenario {
      * a stored record still matches the campaign file on resume.
      */
     std::string configHash() const;
+
+    /**
+     * The (key, value) pairs behind configHash(), in hash order —
+     * the run record stores these so `analyze --baseline` can
+     * attribute per-category deltas to the config keys that actually
+     * changed between two campaigns.
+     */
+    std::vector<std::pair<std::string, std::string>>
+    configKeyValues() const;
 };
 
 /** A fully expanded campaign. */

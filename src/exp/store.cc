@@ -5,6 +5,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -122,6 +123,10 @@ RunRecord::toJsonLine() const
         w.kv("attempts", attempts);
         w.kv("app", app);
         w.kv("machine", machine);
+        w.key("config").beginObject();
+        for (const auto& [k, v] : config)
+            w.kv(k, v);
+        w.endObject();
         w.kv("elapsed_cycles", elapsedCycles);
         w.kv("total_cycles_per_proc", totalCyclesPerProc);
         w.key("cycles_per_proc").beginObject();
@@ -170,6 +175,12 @@ RunRecord::fromJsonLine(const std::string& line)
     r.attempts = static_cast<int>(numberOr(doc, "attempts", 1));
     r.app = stringOr(doc, "app", "");
     r.machine = stringOr(doc, "machine", "");
+    if (const audit::JsonValue* cfg = doc.find("config")) {
+        for (const auto& [k, v] : cfg->object) {
+            if (v.kind == audit::JsonValue::Kind::String)
+                r.config.emplace_back(k, v.string);
+        }
+    }
     r.elapsedCycles = numberOr(doc, "elapsed_cycles", 0);
     r.totalCyclesPerProc = numberOr(doc, "total_cycles_per_proc", 0);
     if (const audit::JsonValue* cy = doc.find("cycles_per_proc")) {
@@ -219,18 +230,34 @@ Store::loadLatest() const
     std::ifstream in(resultsPath());
     if (!in)
         return latest;
+    std::vector<std::string> lines;
     std::string line;
-    std::size_t lineno = 0;
-    while (std::getline(in, line)) {
-        ++lineno;
-        if (line.empty())
+    while (std::getline(in, line))
+        lines.push_back(line);
+
+    // A truncated or garbled *final* line means the writer was
+    // interrupted mid-append (crash, full disk); every earlier record
+    // is still intact, so salvage them with a warning. Garbage
+    // anywhere else has no benign explanation — refuse the store.
+    std::size_t last = lines.size();
+    while (last > 0 && lines[last - 1].empty())
+        --last;
+    for (std::size_t i = 0; i < last; ++i) {
+        if (lines[i].empty())
             continue;
         try {
-            RunRecord r = RunRecord::fromJsonLine(line);
+            RunRecord r = RunRecord::fromJsonLine(lines[i]);
             latest.insert_or_assign(r.scenario, std::move(r));
         } catch (const std::exception& e) {
+            if (i + 1 == last) {
+                std::fprintf(stderr,
+                             "warning: %s:%zu: skipping malformed "
+                             "trailing record (%s)\n",
+                             resultsPath().c_str(), i + 1, e.what());
+                break;
+            }
             throw std::runtime_error(resultsPath() + ":" +
-                                     std::to_string(lineno) + ": " +
+                                     std::to_string(i + 1) + ": " +
                                      e.what());
         }
     }

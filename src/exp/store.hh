@@ -9,17 +9,23 @@
  *
  *   <dir>/results.jsonl   one JSON record per finished run attempt
  *   <dir>/logs/<id>.log   child stdout+stderr, one file per scenario
- *   <dir>/metrics/<id>.json  full wwtcmp.metrics/1 manifest per run
+ *   <dir>/metrics/<id>.json  full wwtcmp.metrics/2 manifest per run
  *   <dir>/tmp/            child-written records before validation
  *
  * Records (schema "wwtcmp.campaign-record/1") carry the scenario id,
- * the scenario's config hash, the pass/fail/crash/timeout status, the
- * per-category cycle breakdown and event counts, and the path of the
- * metrics manifest. Only the parent process appends to results.jsonl
- * (children write to tmp/ and the parent validates before adopting),
- * so the file needs no locking. The *last* record per scenario id
- * wins: a resumed campaign appends fresh records for re-run scenarios
- * and the readers fold the file into latest-per-id.
+ * the scenario's config hash, the scenario's config key/value pairs
+ * (an additive field — readers of older stores simply see it empty),
+ * the pass/fail/crash/timeout status, the per-category cycle
+ * breakdown and event counts, and the path of the metrics manifest.
+ * Only the parent process appends to results.jsonl (children write to
+ * tmp/ and the parent validates before adopting), so the file needs
+ * no locking. The *last* record per scenario id wins: a resumed
+ * campaign appends fresh records for re-run scenarios and the readers
+ * fold the file into latest-per-id.
+ *
+ * A *trailing* malformed line (the process died mid-append, the disk
+ * filled) is tolerated with a warning and skipped; a malformed line
+ * anywhere else is a hard error, because nothing benign produces one.
  *
  * Resume contract: a scenario is skipped iff its latest record has
  * status "pass" AND the stored config hash matches the scenario's
@@ -56,6 +62,8 @@ struct RunRecord {
     int attempts = 1;
     std::string app;
     std::string machine;
+    /** Scenario::configKeyValues() at run time; empty in old stores. */
+    std::vector<std::pair<std::string, std::string>> config;
     double elapsedCycles = 0;        ///< simulated clock at the end
     double totalCyclesPerProc = 0;   ///< per-proc average total
     /** Per-category per-proc cycles, snake_case key order. */
@@ -97,8 +105,10 @@ class Store
 
     /**
      * Load results.jsonl folded to the latest record per scenario id.
-     * Returns an empty map when the file does not exist.
-     * @throws std::runtime_error on a malformed line.
+     * Returns an empty map when the file does not exist. A malformed
+     * *final* line (interrupted append) is skipped with a warning on
+     * stderr; a malformed line anywhere earlier is corruption.
+     * @throws std::runtime_error on an interior malformed line.
      */
     std::map<std::string, RunRecord> loadLatest() const;
 

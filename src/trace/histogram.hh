@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 
 namespace wwt::trace
@@ -116,6 +117,69 @@ class LogHistogram
                 return std::min(bucketHi(b), max());
         }
         return max();
+    }
+
+    /**
+     * Like quantile(), but returns the *log-midpoint* of the bucket —
+     * the geometric mean sqrt(lo * hi) of its inclusive bounds —
+     * clamped to the observed [min, max]. quantile()'s upper bound
+     * overstates tail latencies by up to 2x; the midpoint is the
+     * unbiased point estimate under the log-uniform assumption, so
+     * analytics (the desynchronization-wave detector's tail stats)
+     * use this form. Deterministic: sqrt on exact inputs.
+     */
+    double
+    quantileMidpoint(double q) const
+    {
+        if (count_ == 0)
+            return 0.0;
+        if (!(q > 0.0))
+            q = 0.0;
+        if (q > 1.0)
+            q = 1.0;
+        std::uint64_t rank = static_cast<std::uint64_t>(q * count_);
+        if (rank >= count_)
+            rank = count_ - 1;
+        std::uint64_t seen = 0;
+        std::size_t b = kBuckets - 1;
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            seen += buckets_[i];
+            if (seen > rank) {
+                b = i;
+                break;
+            }
+        }
+        if (b == 0)
+            return 0.0;
+        double mid = std::sqrt(static_cast<double>(bucketLo(b)) *
+                               static_cast<double>(bucketHi(b)));
+        return std::clamp(mid, static_cast<double>(min()),
+                          static_cast<double>(max()));
+    }
+
+    /**
+     * Rebuild a histogram from exported state (the metrics manifest's
+     * "buckets" array plus sum/min/max) — the analyze reader's inverse
+     * of the manifest writer. Bucket indices out of range are ignored.
+     */
+    static LogHistogram
+    fromBuckets(
+        const std::vector<std::pair<std::size_t, std::uint64_t>>& counts,
+        std::uint64_t sum, std::uint64_t min_v, std::uint64_t max_v)
+    {
+        LogHistogram h;
+        for (const auto& [b, n] : counts) {
+            if (b >= kBuckets)
+                continue;
+            h.buckets_[b] += n;
+            h.count_ += n;
+        }
+        h.sum_ = sum;
+        if (h.count_ > 0) {
+            h.min_ = min_v;
+            h.max_ = max_v;
+        }
+        return h;
     }
 
   private:

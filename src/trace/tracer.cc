@@ -17,6 +17,16 @@ latencyKindName(LatencyKind k)
 }
 
 const char*
+timelineKindName(TimelineKind k)
+{
+    switch (k) {
+      case TimelineKind::BarrierWait: return "barrier_wait";
+      case TimelineKind::ChannelWrite: return "channel_write";
+      default: return "?";
+    }
+}
+
+const char*
 opKindName(OpKind k)
 {
     switch (k) {
@@ -87,6 +97,12 @@ Tracer::span(NodeId p, stats::Category c, Cycle t0, Cycle t1)
 {
     if (t0 == t1)
         return;
+    if (c == stats::Category::Barrier) {
+        tracks_[p]
+            .timelines[static_cast<std::size_t>(
+                TimelineKind::BarrierWait)]
+            .add(t0, t1);
+    }
     // Merge with the previous record when it is a contiguous span of
     // the same category (the common case: long runs of computation).
     if (Record* last = lastRecord(p)) {
@@ -107,6 +123,12 @@ Tracer::span(NodeId p, stats::Category c, Cycle t0, Cycle t1)
 void
 Tracer::op(NodeId p, OpKind k, Cycle t0, Cycle t1)
 {
+    if (k == OpKind::ChannelWrite && t1 > t0) {
+        tracks_[p]
+            .timelines[static_cast<std::size_t>(
+                TimelineKind::ChannelWrite)]
+            .add(t0, t1);
+    }
     Record r{};
     r.kind = Record::Kind::OpSpan;
     r.tag = static_cast<std::uint8_t>(k);

@@ -38,6 +38,7 @@
 #include "sim/types.hh"
 #include "stats/category.hh"
 #include "trace/histogram.hh"
+#include "trace/timeline.hh"
 
 namespace wwt::trace
 {
@@ -57,6 +58,25 @@ constexpr std::size_t kNumLatencyKinds =
 
 /** Stable snake-case name (JSON keys, table rows). */
 const char* latencyKindName(LatencyKind k);
+
+/**
+ * The per-processor wait timelines the tracer maintains (one Timeline
+ * per processor track per kind). These feed the desynchronization-wave
+ * detector (`wwtcmp_campaign analyze`): unlike the latency histograms,
+ * they keep the *time axis*, so skew between processors is visible as
+ * a function of simulated time.
+ */
+enum class TimelineKind : std::uint8_t {
+    BarrierWait,  ///< cycles spent blocked at barriers
+    ChannelWrite, ///< cycles spent inside MP channel writes
+    NumTimelineKinds
+};
+
+constexpr std::size_t kNumTimelineKinds =
+    static_cast<std::size_t>(TimelineKind::NumTimelineKinds);
+
+/** Stable snake-case name (JSON keys, table rows). */
+const char* timelineKindName(TimelineKind k);
 
 /** Labelled operations recorded as spans on a processor's track. */
 enum class OpKind : std::uint8_t {
@@ -187,6 +207,18 @@ class Tracer
         return h;
     }
 
+    /**
+     * Track @p p's wait timeline of kind @p k. Fed from the same hook
+     * points as spans (span() for barrier waits, op() for channel
+     * writes), so it costs nothing when tracing is disabled and is
+     * written only by the host thread owning track @p p.
+     */
+    const Timeline&
+    timeline(NodeId p, TimelineKind k) const
+    {
+        return tracks_[p].timelines[static_cast<std::size_t>(k)];
+    }
+
     /** Records currently held for @p track. */
     std::size_t recordCount(NodeId track) const
     {
@@ -216,6 +248,8 @@ class Tracer
         std::uint64_t dropped = 0;
         /** This track's shard of each latency histogram. */
         std::array<LogHistogram, kNumLatencyKinds> hist{};
+        /** This track's wait timelines (simulated-time axis). */
+        std::array<Timeline, kNumTimelineKinds> timelines{};
         std::uint64_t flowSeq = 0;
         /** Open lock-hold intervals on this track, keyed by lock id. */
         std::map<std::uint64_t, Cycle> openLocks;

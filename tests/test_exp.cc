@@ -252,6 +252,8 @@ TEST(CampaignStore, RecordRoundTripsThroughJson)
     r.attempts = 3;
     r.app = "em3d";
     r.machine = "mp";
+    r.config = {{"app", "em3d"}, {"machine", "mp"},
+                {"cache_kb", "256"}};
     r.elapsedCycles = 123456;
     r.totalCyclesPerProc = 98765.25;
     r.cycles = {{"computation", 5000.5}, {"barrier", 12.0}};
@@ -265,6 +267,7 @@ TEST(CampaignStore, RecordRoundTripsThroughJson)
     EXPECT_EQ(b.configHash, r.configHash);
     EXPECT_EQ(b.status, r.status);
     EXPECT_EQ(b.attempts, r.attempts);
+    EXPECT_EQ(b.config, r.config);
     EXPECT_EQ(b.cycles, r.cycles);
     EXPECT_EQ(b.counts, r.counts);
     EXPECT_EQ(b.metricsPath, r.metricsPath);
@@ -315,6 +318,45 @@ TEST(CampaignStore, LoadLatestFoldsLastRecordPerScenario)
     exp::Scenario sc;
     sc.id = "c";
     EXPECT_FALSE(store.satisfiedBy(latest, sc)); // no record
+}
+
+TEST(CampaignStore, TruncatedTrailingLineToleratedInteriorRejected)
+{
+    TempDir t;
+    exp::Store store(t.path + "/camp");
+    store.create();
+
+    exp::RunRecord r;
+    r.scenario = "a";
+    r.configHash = "h1";
+    store.append(r);
+    r.scenario = "b";
+    store.append(r);
+
+    // Hand-truncate an append: the writer died mid-line. The two
+    // intact records must survive with the tail skipped.
+    {
+        std::ofstream os(store.resultsPath(), std::ios::app);
+        os << R"({"schema": "wwtcmp.campaign-record/1", "scen)";
+    }
+    auto latest = store.loadLatest();
+    EXPECT_EQ(latest.size(), 2u);
+    EXPECT_TRUE(latest.count("a"));
+    EXPECT_TRUE(latest.count("b"));
+
+    // A trailing newline after the garbage changes nothing: the
+    // garbled line is still the last record-bearing line.
+    {
+        std::ofstream os(store.resultsPath(), std::ios::app);
+        os << "\n";
+    }
+    EXPECT_EQ(store.loadLatest().size(), 2u);
+
+    // But once a valid record follows it, the garbage is interior
+    // corruption and the store must refuse to load.
+    r.scenario = "c";
+    store.append(r);
+    EXPECT_THROW(store.loadLatest(), std::runtime_error);
 }
 
 // ------------------------------------------------------------------
@@ -395,6 +437,60 @@ TEST(CampaignReport, RendersStatusSummaryAndRows)
 
     std::ostringstream empty;
     EXPECT_EQ(exp::reportCampaign(t.path + "/nothere", empty), 1);
+}
+
+TEST(CampaignReport, JsonAndCsvFormatsFoldTheSameRecords)
+{
+    TempDir t;
+    exp::Store s(t.path + "/c");
+    s.create();
+    exp::RunRecord r;
+    r.scenario = "em3d-mp";
+    r.configHash = "h";
+    r.app = "em3d";
+    r.machine = "mp";
+    r.config = {{"app", "em3d"}, {"cache_kb", "256"}};
+    r.totalCyclesPerProc = 2.5e6;
+    r.cycles = {{"computation", 2.0e6}};
+    s.append(r);
+    r.status = exp::RunStatus::Fail; // superseded by the next append
+    s.append(r);
+    r.status = exp::RunStatus::Pass;
+    s.append(r);
+
+    std::ostringstream js;
+    EXPECT_EQ(exp::reportCampaign(s.dir(), js,
+                                  exp::ReportFormat::Json),
+              0);
+    std::string json = js.str();
+    EXPECT_NE(json.find("\"schema\": \"wwtcmp.campaign-report/1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"em3d-mp\""), std::string::npos);
+    EXPECT_NE(json.find("\"cache_kb\": \"256\""), std::string::npos);
+    // Latest-per-id fold: exactly one scenario object, status pass.
+    EXPECT_EQ(json.find("\"id\""), json.rfind("\"id\""));
+    EXPECT_NE(json.find("\"status\": \"pass\""), std::string::npos);
+    EXPECT_EQ(json.find("\"fail\""), std::string::npos);
+
+    std::ostringstream cs;
+    EXPECT_EQ(exp::reportCampaign(s.dir(), cs, exp::ReportFormat::Csv),
+              0);
+    std::string csv = cs.str();
+    EXPECT_EQ(csv.rfind("scenario,status,app,machine,attempts,"
+                        "total_cycles_per_proc,computation,",
+                        0),
+              0u)
+        << csv;
+    EXPECT_NE(csv.find("\nem3d-mp,pass,em3d,mp,1,2500000,2000000,"),
+              std::string::npos)
+        << csv;
+
+    // Byte-determinism: rendering twice gives identical output.
+    std::ostringstream js2, cs2;
+    exp::reportCampaign(s.dir(), js2, exp::ReportFormat::Json);
+    exp::reportCampaign(s.dir(), cs2, exp::ReportFormat::Csv);
+    EXPECT_EQ(js.str(), js2.str());
+    EXPECT_EQ(cs.str(), cs2.str());
 }
 
 // ------------------------------------------------------------------

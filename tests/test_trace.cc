@@ -9,9 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
 #include <cstring>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "apps/em3d.hh"
 #include "apps/gauss.hh"
@@ -199,6 +201,131 @@ TEST(LogHistogramTest, MergingEmptyShardKeepsMinMaxSentinels)
     EXPECT_EQ(c.count(), 0u);
     EXPECT_EQ(c.min(), 0u);
     EXPECT_EQ(c.max(), 0u);
+}
+
+TEST(LogHistogramTest, QuantileMidpointPinnedAgainstUpperBound)
+{
+    // Known distribution: {0, 1, 2, 3, 100}. quantile() returns the
+    // bucket *upper bound* (overstating the tail); quantileMidpoint()
+    // the geometric midpoint of the bucket. Pin both so the contrast
+    // is explicit and any drift in either is caught.
+    LogHistogram h;
+    for (std::uint64_t v : {0, 1, 2, 3, 100})
+        h.record(v);
+
+    // Median lands in bucket [2, 3]: upper bound 3, midpoint sqrt(6).
+    EXPECT_EQ(h.quantile(0.5), 3u);
+    EXPECT_DOUBLE_EQ(h.quantileMidpoint(0.5), std::sqrt(2.0 * 3.0));
+
+    // The tail sample 100 lands in bucket [64, 127]: quantile() says
+    // 100 (hi clamped to max), the midpoint says sqrt(64 * 127) ~ 90.
+    EXPECT_EQ(h.quantile(1.0), 100u);
+    EXPECT_DOUBLE_EQ(h.quantileMidpoint(1.0),
+                     std::sqrt(64.0 * 127.0));
+    EXPECT_LT(h.quantileMidpoint(1.0),
+              static_cast<double>(h.quantile(1.0)));
+
+    // Bucket 0 holds exactly {0}; no midpoint arithmetic applies.
+    EXPECT_DOUBLE_EQ(h.quantileMidpoint(0.0), 0.0);
+
+    // The midpoint clamps into the observed range: a lone 5 lies in
+    // [4, 7] whose midpoint sqrt(28) ~ 5.29 exceeds the max.
+    LogHistogram one;
+    one.record(5);
+    EXPECT_DOUBLE_EQ(one.quantileMidpoint(0.5), 5.0);
+
+    // Empty and out-of-range q behave like quantile().
+    LogHistogram empty;
+    EXPECT_DOUBLE_EQ(empty.quantileMidpoint(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantileMidpoint(-1.0), h.quantileMidpoint(0.0));
+    EXPECT_DOUBLE_EQ(h.quantileMidpoint(2.0), h.quantileMidpoint(1.0));
+}
+
+TEST(LogHistogramTest, FromBucketsRoundTripsExportedState)
+{
+    LogHistogram h;
+    for (std::uint64_t v : {0, 1, 2, 3, 5, 100, 4096})
+        h.record(v);
+
+    // Export the way the metrics manifest does (lo/count pairs), then
+    // rebuild — the analyze manifest reader's path.
+    std::vector<std::pair<std::size_t, std::uint64_t>> buckets;
+    for (std::size_t b = 0; b < LogHistogram::kBuckets; ++b) {
+        if (h.bucketCount(b) > 0)
+            buckets.emplace_back(
+                LogHistogram::bucketOf(LogHistogram::bucketLo(b)),
+                h.bucketCount(b));
+    }
+    LogHistogram r = LogHistogram::fromBuckets(buckets, h.sum(),
+                                               h.min(), h.max());
+    EXPECT_EQ(r.count(), h.count());
+    EXPECT_EQ(r.sum(), h.sum());
+    EXPECT_EQ(r.min(), h.min());
+    EXPECT_EQ(r.max(), h.max());
+    for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+        EXPECT_EQ(r.quantile(q), h.quantile(q));
+        EXPECT_DOUBLE_EQ(r.quantileMidpoint(q), h.quantileMidpoint(q));
+    }
+
+    // Out-of-range bucket indices are ignored, not UB.
+    LogHistogram bad = LogHistogram::fromBuckets(
+        {{LogHistogram::kBuckets + 5, 3}}, 0, 0, 0);
+    EXPECT_EQ(bad.count(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Timelines: interval accumulation, width growth, cross-track folds.
+// ---------------------------------------------------------------------
+
+TEST(TimelineTest, AccumulatesIntervalsAcrossWindows)
+{
+    trace::Timeline t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.window(), trace::Timeline::kInitialWindow);
+
+    t.add(0, 100);       // inside window 0
+    t.add(1000, 1100);   // straddles windows 0 and 1
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.at(0), 100u + 24u); // [1000, 1024) = 24 cycles
+    EXPECT_EQ(t.at(1), 76u);        // [1024, 1100) = 76 cycles
+    EXPECT_EQ(t.at(7), 0u);         // untouched windows read 0
+
+    // Zero-length intervals are ignored.
+    t.add(50, 50);
+    EXPECT_EQ(t.at(0), 124u);
+}
+
+TEST(TimelineTest, GrowthDoublesWindowAndPreservesTotals)
+{
+    trace::Timeline t;
+    const Cycle w0 = trace::Timeline::kInitialWindow;
+    // Fill past the window ceiling so the width must double.
+    const Cycle far_end =
+        w0 * static_cast<Cycle>(trace::Timeline::kMaxWindows) * 3;
+    t.add(10, 20);
+    t.add(far_end - 5, far_end);
+    EXPECT_GT(t.window(), w0);
+    EXPECT_EQ(t.window() % w0, 0u); // width stays a power-of-2 multiple
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < t.size(); ++i)
+        total += t.at(i);
+    EXPECT_EQ(total, 10u + 5u); // folding never loses cycles
+    EXPECT_EQ(t.at(0), 10u);    // the early interval stays in window 0
+}
+
+TEST(TimelineTest, FoldToAlignsTracksForComparison)
+{
+    trace::Timeline a, b;
+    a.add(0, 10);
+    a.add(2048, 2058); // windows 0 and 2 at width 1024
+    b.add(0, 7);
+    b.foldTo(a.window() * 4);
+    EXPECT_EQ(b.window(), a.window() * 4);
+    EXPECT_EQ(b.at(0), 7u);
+    a.foldTo(b.window());
+    // At width 4096, [0,10) and [2048,2058) both land in window 0.
+    EXPECT_EQ(a.at(0), 20u);
+    EXPECT_EQ(a.size(), 1u);
 }
 
 // ---------------------------------------------------------------------
@@ -562,11 +689,15 @@ TEST(ArtifactsTest, MetricsJsonIsValidAndCarriesHistograms)
     std::string json = ms.str();
 
     EXPECT_TRUE(JsonChecker(json).valid()) << "malformed JSON";
-    EXPECT_NE(json.find("\"schema\": \"wwtcmp.metrics/1\""),
+    EXPECT_NE(json.find("\"schema\": \"wwtcmp.metrics/2\""),
               std::string::npos);
     EXPECT_NE(json.find("\"miss_stall\""), std::string::npos);
     EXPECT_NE(json.find("\"barrier_wait\""), std::string::npos);
     EXPECT_NE(json.find("\"cycles_per_proc\""), std::string::npos);
+    // Schema /2: per-processor vectors and wait timelines.
+    EXPECT_NE(json.find("\"per_proc\""), std::string::npos);
+    EXPECT_NE(json.find("\"timelines\""), std::string::npos);
+    EXPECT_NE(json.find("\"window_cycles\""), std::string::npos);
 }
 
 // ---------------------------------------------------------------------
