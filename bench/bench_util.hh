@@ -15,6 +15,8 @@
  *   --metrics=FILE    write the machine-readable metrics manifest
  *   --host-threads=N  host worker threads for the quantum loop
  *                     (results are bit-identical for every N)
+ *   --no-fast-hit     disable the fast-hit filter (bit-identical
+ *                     either way; exists for the CI identity gate)
  *   --check-shapes    check measured ratios against the golden-shape
  *                     bands and exit nonzero on drift
  *   --shapes=FILE     golden-shape file (default
@@ -52,6 +54,7 @@ struct Options {
     bool small = false;
     std::size_t procs = 32;
     std::size_t hostThreads = 1; ///< --host-threads=N (1 = sequential)
+    bool fastHit = true;         ///< --no-fast-hit clears this
     bool checkShapes = false;    ///< --check-shapes
     std::string shapesFile = "bench/golden_shapes.json"; ///< --shapes=FILE
     std::string traceFile;   ///< --trace=FILE (empty = off)
@@ -100,6 +103,8 @@ parseArgs(int argc, char** argv)
         }
         if (std::strcmp(argv[i], "--small") == 0)
             o.small = true;
+        else if (std::strcmp(argv[i], "--no-fast-hit") == 0)
+            o.fastHit = false;
         else if (std::strcmp(argv[i], "--check-shapes") == 0)
             o.checkShapes = true;
         else {
@@ -150,6 +155,7 @@ paperConfig(const Options& o)
     core::MachineConfig cfg = core::MachineConfig::cm5Like();
     cfg.nprocs = o.procs;
     cfg.hostThreads = o.hostThreads;
+    cfg.fastHit = o.fastHit;
     return cfg;
 }
 

@@ -166,6 +166,70 @@ BENCHMARK(BM_Em3dSmHostThreads)
     ->Unit(benchmark::kMillisecond);
 
 static void
+BM_WholeQuantumEm3dSm(benchmark::State& state)
+{
+    // Whole-quantum throughput of the fixed EM3D-SM workload the
+    // perf-trajectory gate tracks (tools/bench_trajectory.py): the
+    // timer covers the complete simulation — quantum loop, fibers,
+    // memory model, directory protocol, end-of-run audits — but NOT
+    // machine construction (PauseTiming around setup). The
+    // sim_cycles_per_sec counter is simulated cycles per host second,
+    // the paper-methodology figure of merit. Arg(1) runs the default
+    // configuration, Arg(0) disables the fast-hit filter (results
+    // are byte-identical either way; only host time may differ).
+    std::uint64_t simCycles = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        core::MachineConfig cfg;
+        cfg.nprocs = 32;
+        cfg.fastHit = state.range(0) != 0;
+        sm::SmMachine m(cfg);
+        apps::Em3dParams p;
+        p.nodesPerProc = 512;
+        p.iters = 5;
+        state.ResumeTiming();
+        apps::runEm3dSm(m, p);
+        simCycles += m.engine().elapsed();
+    }
+    state.counters["sim_cycles_per_sec"] =
+        benchmark::Counter(static_cast<double>(simCycles),
+                           benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WholeQuantumEm3dSm)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+static void
+BM_WholeQuantumEm3dMp(benchmark::State& state)
+{
+    // Message-passing twin of BM_WholeQuantumEm3dSm: same fixed EM3D
+    // workload on the MP machine (channels + active messages instead
+    // of the directory protocol). Same timer coverage and counter.
+    std::uint64_t simCycles = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        core::MachineConfig cfg;
+        cfg.nprocs = 32;
+        cfg.fastHit = state.range(0) != 0;
+        mp::MpMachine m(cfg);
+        apps::Em3dParams p;
+        p.nodesPerProc = 512;
+        p.iters = 5;
+        state.ResumeTiming();
+        apps::runEm3dMp(m, p);
+        simCycles += m.engine().elapsed();
+    }
+    state.counters["sim_cycles_per_sec"] =
+        benchmark::Counter(static_cast<double>(simCycles),
+                           benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WholeQuantumEm3dMp)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+static void
 BM_ProtocolRemoteMiss(benchmark::State& state)
 {
     // Cost of simulating one remote shared-memory read miss

@@ -7,11 +7,15 @@
  *   run_app --app mse|gauss|em3d|lcp|alcp --machine mp|sm
  *           [--procs N] [--size N] [--iters N] [--local-alloc]
  *           [--cache-kb N] [--net-gap N] [--tree flat|binary|lop]
- *           [--host-threads N] [--trace FILE] [--metrics FILE]
+ *           [--host-threads N] [--no-fast-hit]
+ *           [--trace FILE] [--metrics FILE]
  *
  * --host-threads picks the number of host worker threads driving the
  * quantum loop; every value produces bit-identical results (the CI
  * determinism gate diffs the --metrics output at 1 vs 4 threads).
+ * --no-fast-hit disables the fast-hit filter in front of the cache/TLB
+ * model; results are bit-identical either way (CI enforces it — see
+ * docs/performance.md), the flag exists for that gate and debugging.
  *
  * This is a thin client of the experiment layer: app dispatch lives
  * in the exp registry (src/exp/registry.hh), shared with the
@@ -48,6 +52,7 @@ struct Cli {
     bool localAlloc = false;
     std::size_t cacheKb = 256;
     std::size_t hostThreads = 1;
+    bool fastHit = true;
     Cycle netGap = 0;
     std::string tree = "lop";
     std::string traceFile;
@@ -136,6 +141,8 @@ parse(int argc, char** argv, Cli& c)
             c.metricsFile = argv[i] + 10;
         } else if (!std::strcmp(argv[i], "--local-alloc")) {
             c.localAlloc = true;
+        } else if (!std::strcmp(argv[i], "--no-fast-hit")) {
+            c.fastHit = false;
         } else {
             std::fprintf(stderr, "unknown flag %s\n", argv[i]);
             return false;
@@ -161,6 +168,7 @@ main(int argc, char** argv)
     spec.cfg.cache.bytes = c.cacheKb * 1024;
     spec.cfg.netGap = c.netGap;
     spec.cfg.hostThreads = c.hostThreads ? c.hostThreads : 1;
+    spec.cfg.fastHit = c.fastHit;
     if (c.localAlloc)
         spec.cfg.allocPolicy = mem::AllocPolicy::Local;
     spec.req.size = c.size;

@@ -88,6 +88,11 @@ struct MachineConfig {
      *  sequential engine). Results are bit-identical for any value;
      *  see docs/parallel_host.md. */
     std::size_t hostThreads = 1;
+    /** Per-processor fast-hit filter in front of the cache/TLB model.
+     *  A pure host-side speedup: results are bit-identical either way
+     *  (CI enforces this; see docs/performance.md). Off exists only
+     *  for that gate and for debugging. */
+    bool fastHit = true;
 
     /** The paper's machine (32 processors, Tables 1-3). */
     static MachineConfig cm5Like() { return MachineConfig{}; }

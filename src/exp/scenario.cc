@@ -74,8 +74,9 @@ struct Draft {
 
 /** Sweepable keys, in deterministic expansion order. */
 const char* const kSweepable[] = {
-    "app",   "machine",     "procs", "cache_kb", "net_gap",
-    "local_alloc", "tree",  "host_threads", "size", "iters",
+    "app",         "machine", "procs",        "cache_kb", "net_gap",
+    "local_alloc", "tree",    "host_threads", "fast_hit", "size",
+    "iters",
 };
 
 bool
@@ -224,6 +225,10 @@ buildScenario(Scenario& s, const std::vector<Binding>& bindings,
             s.localAlloc = requireBool(v, "local_alloc");
             if (b.swept)
                 id += ".local_alloc=" + suffixValue(v);
+        } else if (b.key == "fast_hit") {
+            s.fastHit = requireBool(v, "fast_hit");
+            if (b.swept)
+                id += ".fast_hit=" + suffixValue(v);
         } else {
             std::uint64_t u = 0;
             if (b.key == "procs")
@@ -348,6 +353,7 @@ Scenario::config() const
     cfg.cache.bytes = cacheKb * 1024;
     cfg.netGap = netGap;
     cfg.hostThreads = hostThreads;
+    cfg.fastHit = fastHit;
     if (localAlloc)
         cfg.allocPolicy = mem::AllocPolicy::Local;
     return cfg;
@@ -379,6 +385,7 @@ Scenario::configKeyValues() const
         {"local_alloc", localAlloc ? "1" : "0"},
         {"tree", tree},
         {"host_threads", std::to_string(hostThreads)},
+        {"fast_hit", fastHit ? "1" : "0"},
         {"size", std::to_string(size)},
         {"iters", std::to_string(iters)},
     };

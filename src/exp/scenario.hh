@@ -58,6 +58,7 @@ struct Scenario {
     bool localAlloc = false;
     std::string tree = "lop"; ///< MP collective tree
     std::size_t hostThreads = 1;
+    bool fastHit = true; ///< host-side fast-hit filter (bit-identical)
 
     // App parameters (0 = app default).
     std::size_t size = 0;

@@ -45,8 +45,8 @@ SharedAllocator::allocHomed(std::size_t bytes, std::size_t align,
         // Never share a page between nodes under local homing: a page
         // already homed elsewhere would defeat the policy.
         Addr page = a >> 12;
-        auto it = home_.find(page);
-        if (it != home_.end() && it->second != node)
+        const NodeId* h = home_.find(page);
+        if (h != nullptr && *h != node)
             a = alignUp((page + 1) << 12, align);
     }
     if (a + bytes > limit_)
@@ -63,7 +63,7 @@ SharedAllocator::allocHomed(std::size_t bytes, std::size_t align,
 void
 SharedAllocator::assignHome(Addr page, NodeId node, bool force_local)
 {
-    if (home_.count(page))
+    if (home_.contains(page))
         return; // first assignment wins (page straddles allocations)
     if (force_local || policy_ == AllocPolicy::Local) {
         home_[page] = node;
@@ -89,10 +89,30 @@ SharedAllocator::gallocLocal(std::size_t bytes, NodeId node,
 NodeId
 SharedAllocator::homeOf(Addr a) const
 {
-    auto it = home_.find(a >> 12);
-    if (it == home_.end())
+    // A page's home never changes once assigned, so a memo of past
+    // answers can never go stale — no invalidation needed. The memo
+    // is thread-local because fibers on parallel host workers call
+    // this concurrently, and keyed by the process-unique allocator id
+    // (like the backing store's chunk cache) so an entry can never
+    // alias a different allocator reusing this heap address.
+    struct Memo {
+        std::uint64_t alloc = 0; // 0: never an allocId_
+        Addr page = ~Addr{0};
+        NodeId home = 0;
+    };
+    constexpr std::size_t kWays = 256;
+    thread_local Memo memo[kWays];
+    Addr page = a >> 12;
+    Memo& m = memo[page & (kWays - 1)];
+    if (m.alloc == allocId_ && m.page == page)
+        return m.home;
+    const NodeId* h = home_.find(page);
+    if (h == nullptr)
         throw std::logic_error("homeOf() on unallocated shared address");
-    return it->second;
+    m.alloc = allocId_;
+    m.page = page;
+    m.home = *h;
+    return *h;
 }
 
 } // namespace wwt::mem

@@ -10,9 +10,10 @@
  * the local policy used for the Table 17 ablation.
  */
 
+#include <atomic>
 #include <cstdint>
-#include <unordered_map>
 
+#include "sim/flat_map.hh"
 #include "sim/types.hh"
 
 namespace wwt::mem
@@ -88,13 +89,26 @@ class SharedAllocator
                     bool force_local);
     void assignHome(Addr page, NodeId node, bool force_local);
 
+    static std::uint64_t nextAllocId();
+
+    /** Process-unique id keying homeOf()'s thread-local memo, so a
+     *  memo entry can never alias a different (or later) allocator
+     *  living at the same heap address. */
+    std::uint64_t allocId_ = nextAllocId();
     Addr base_;
     Addr limit_;
     Addr next_;
     std::size_t nprocs_;
     AllocPolicy policy_;
     std::size_t rrNext_ = 0;
-    std::unordered_map<Addr, NodeId> home_; // page number -> home
+    sim::FlatMap<NodeId> home_; // page number -> home
 };
+
+inline std::uint64_t
+SharedAllocator::nextAllocId()
+{
+    static std::atomic<std::uint64_t> next{0};
+    return ++next;
+}
 
 } // namespace wwt::mem

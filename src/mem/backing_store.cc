@@ -10,9 +10,8 @@ BackingStore::chunkPtr(Addr chunk)
 {
     {
         std::shared_lock lock(mutex_);
-        auto it = chunks_.find(chunk);
-        if (it != chunks_.end())
-            return it->second.get();
+        if (const auto* slot = chunks_.find(chunk))
+            return slot->get();
     }
     std::unique_lock lock(mutex_);
     auto& slot = chunks_[chunk];

@@ -27,9 +27,9 @@
 #include <mutex>
 #include <shared_mutex>
 #include <type_traits>
-#include <unordered_map>
 #include <utility>
 
+#include "sim/flat_map.hh"
 #include "sim/types.hh"
 
 namespace wwt::mem
@@ -104,7 +104,7 @@ class BackingStore
      *  cache entry can never alias a different (or later) store. */
     std::uint64_t storeId_ = nextStoreId();
     mutable std::shared_mutex mutex_;
-    std::unordered_map<Addr, std::unique_ptr<char[]>> chunks_;
+    sim::FlatMap<std::unique_ptr<char[]>> chunks_; // chunk number -> data
 };
 
 inline std::uint64_t
@@ -117,23 +117,28 @@ BackingStore::nextStoreId()
 inline char*
 BackingStore::ptr(Addr a)
 {
-    // One-entry lookup cache: most accesses stay within a chunk.
-    // Thread-local so concurrent fibers never share it; chunk base
-    // pointers are stable, so a hit needs no lock.
+    // Small direct-mapped lookup cache: target code interleaves a few
+    // regions (its own arrays, neighbors' arrays, the private heap),
+    // so a single memoized chunk thrashes; a handful indexed by chunk
+    // number covers the working set. Thread-local so concurrent fibers
+    // never share it; chunk base pointers are stable, so a hit needs
+    // no lock.
     struct Cached {
         std::uint64_t store = 0;
         Addr chunk = 0;
         char* base = nullptr;
     };
-    thread_local Cached cached;
+    constexpr std::size_t kWays = 16;
+    thread_local Cached cached[kWays];
 
     Addr chunk = a >> kChunkBits;
-    if (cached.store != storeId_ || cached.chunk != chunk) {
-        cached.store = storeId_;
-        cached.chunk = chunk;
-        cached.base = chunkPtr(chunk);
+    Cached& c = cached[chunk & (kWays - 1)];
+    if (c.store != storeId_ || c.chunk != chunk || c.base == nullptr) {
+        c.store = storeId_;
+        c.chunk = chunk;
+        c.base = chunkPtr(chunk);
     }
-    return cached.base + (a & kChunkMask);
+    return c.base + (a & kChunkMask);
 }
 
 } // namespace wwt::mem

@@ -51,6 +51,14 @@ Cache::find(Addr block) const
 Victim
 Cache::insert(Addr block, LineState state, bool dirty)
 {
+    Victim v;
+    insert(block, state, dirty, &v);
+    return v;
+}
+
+Line*
+Cache::insert(Addr block, LineState state, bool dirty, Victim* victim)
+{
     Line* set = &lines_[setOf(block) * assoc_];
     Line* slot = nullptr;
     for (std::size_t w = 0; w < assoc_; ++w) {
@@ -71,7 +79,9 @@ Cache::insert(Addr block, LineState state, bool dirty)
     slot->block = block;
     slot->state = state;
     slot->dirty = dirty;
-    return v;
+    if (victim)
+        *victim = v;
+    return slot;
 }
 
 Victim

@@ -80,6 +80,13 @@ class Cache
      */
     Victim insert(Addr block, LineState state, bool dirty);
 
+    /**
+     * insert() variant also exposing the installed line so callers
+     * can memoize it (the fast-hit filter). The pointer stays valid
+     * for the cache's lifetime: the line array never reallocates.
+     */
+    Line* insert(Addr block, LineState state, bool dirty, Victim* victim);
+
     /** Remove @p block if present, reporting what it was. */
     Victim remove(Addr block);
 

@@ -1,0 +1,115 @@
+#pragma once
+
+/**
+ * @file
+ * The per-processor fast-hit filter.
+ *
+ * Almost every simulated access is a cache hit to a recently touched
+ * block, yet the full model pays a TLB probe plus an associative set
+ * scan for each one. The filter memoizes the last few touched blocks
+ * in a tiny direct-mapped table of (block, line pointer, TLB epoch)
+ * entries, so the common repeat access charges its cycle without
+ * entering either structure.
+ *
+ * Correctness contract (see docs/performance.md): the filter must
+ * never produce a hit the full lookup would not have produced, so
+ * that enabling it changes no simulated cycle.
+ *
+ *  - Coherence: a hit revalidates the memoized line against its live
+ *    cache slot (`line->block == block && state != Invalid`). Any
+ *    action that would make the memo stale — a protocol invalidation
+ *    or downgrade from another processor, an eviction reusing the
+ *    slot (by any path), a cache reset — rewrites exactly those
+ *    fields, so staleness is observed without any invalidation
+ *    plumbing. Line pointers stay valid because the cache's line
+ *    array never reallocates.
+ *  - Translation: an entry is trusted only while the TLB has done no
+ *    refill since the entry was recorded (epoch match). The TLB is
+ *    FIFO — installs are the only evictions — so an unchanged epoch
+ *    proves every then-mapped page is still mapped, and a fast hit
+ *    can never skip a TLB miss the full path would have charged.
+ *
+ * A fast hit is therefore exactly the slow path's "TLB hit, cache
+ * hit" outcome; the caller replays the identical counter increments
+ * and cycle charges for that outcome.
+ */
+
+#include <array>
+#include <cstdint>
+
+#include "mem/cache.hh"
+#include "sim/types.hh"
+
+namespace wwt::mem
+{
+
+class FastHitFilter
+{
+  public:
+    /**
+     * Sized so a processor's filter (24 B per slot) stays resident in
+     * the host's private caches even with tens of processors live on
+     * one host core — a filter bigger than the structures it fronts
+     * is slower than no filter at all.
+     */
+    static constexpr std::size_t kSlots = 1024;
+
+    explicit FastHitFilter(bool enabled = true) : enabled_(enabled) {}
+
+    bool enabled() const { return enabled_; }
+
+    /**
+     * The still-valid memoized line for @p block, or nullptr when the
+     * slow path must run.
+     * @param tlb_epoch the owning processor's current TLB refill
+     *        epoch; entries recorded under an older epoch are not
+     *        trusted (their page may have been evicted since).
+     */
+    Line*
+    lookup(Addr block, std::uint64_t tlb_epoch)
+    {
+        if (!enabled_)
+            return nullptr;
+        const Entry& e = slots_[block & (kSlots - 1)];
+        if (e.line != nullptr && e.block == block &&
+            e.tlbEpoch == tlb_epoch && e.line->block == block &&
+            e.line->state != LineState::Invalid)
+            return e.line;
+        return nullptr;
+    }
+
+    /** Memoize the slow path's lookup result for @p block. */
+    void
+    remember(Addr block, Line* line, std::uint64_t tlb_epoch)
+    {
+        if (!enabled_ || line == nullptr)
+            return;
+        Entry& e = slots_[block & (kSlots - 1)];
+        // A repeat hit would rewrite identical fields; skipping the
+        // stores keeps the slot's cache line in the shared state.
+        if (e.line == line && e.block == block && e.tlbEpoch == tlb_epoch)
+            return;
+        e.block = block;
+        e.tlbEpoch = tlb_epoch;
+        e.line = line;
+    }
+
+    /** Drop every entry (tests; benchmark-repetition hygiene). */
+    void
+    clear()
+    {
+        slots_.fill(Entry{});
+    }
+
+  private:
+    struct Entry {
+        Addr block = 0;
+        std::uint64_t tlbEpoch = 0;
+        Line* line = nullptr;
+    };
+
+    std::array<Entry, kSlots> slots_{};
+    bool enabled_;
+};
+
+} // namespace wwt::mem

@@ -16,7 +16,7 @@ Tlb::access(Addr a)
     Addr page = pageOf(a);
     if (page == lastPage_)
         return true;
-    if (map_.count(page)) {
+    if (map_.contains(page)) {
         lastPage_ = page;
         return true;
     }
@@ -26,9 +26,10 @@ Tlb::access(Addr a)
     if (old != kCycleMax)
         map_.erase(old);
     ring_[head_] = page;
-    map_[page] = head_;
+    map_[page] = 1;
     head_ = (head_ + 1) % capacity_;
     lastPage_ = page;
+    ++epoch_;
     return false;
 }
 
@@ -39,6 +40,7 @@ Tlb::reset()
     ring_.assign(capacity_, kCycleMax);
     head_ = 0;
     lastPage_ = kCycleMax;
+    ++epoch_;
 }
 
 } // namespace wwt::mem

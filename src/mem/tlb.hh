@@ -9,9 +9,9 @@
  */
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/flat_map.hh"
 #include "sim/types.hh"
 
 namespace wwt::mem
@@ -43,13 +43,23 @@ class Tlb
     std::size_t entries() const { return capacity_; }
     std::size_t valid() const { return map_.size(); }
 
+    /**
+     * Refill epoch: bumped on every miss-install and on reset().
+     * Replacement is FIFO (installs are the only evictions), so while
+     * the epoch is unchanged, every page that was mapped remains
+     * mapped — the fast-hit filter relies on this to prove a memoized
+     * access would still be a TLB hit without re-probing.
+     */
+    std::uint64_t epoch() const { return epoch_; }
+
   private:
     unsigned pageBits_;
     std::size_t capacity_;
-    std::unordered_map<Addr, std::size_t> map_; // page -> ring slot
-    std::vector<Addr> ring_;                    // FIFO order
-    std::size_t head_ = 0;                      // next slot to replace
-    Addr lastPage_ = kCycleMax;                 // one-entry fast path
+    sim::FlatMap<std::uint8_t> map_; // set of resident pages
+    std::vector<Addr> ring_;         // FIFO order
+    std::size_t head_ = 0;           // next slot to replace
+    Addr lastPage_ = kCycleMax;      // one-entry fast path
+    std::uint64_t epoch_ = 0;
 };
 
 } // namespace wwt::mem

@@ -17,6 +17,7 @@
 #include "mem/allocator.hh"
 #include "mem/backing_store.hh"
 #include "mem/cache.hh"
+#include "mem/fast_hit.hh"
 #include "mem/tlb.hh"
 #include "sim/processor.hh"
 
@@ -33,6 +34,7 @@ class MpMemory
           cache_(cfg.cache.bytes, cfg.cache.assoc, cfg.cache.blockBytes,
                  cfg.cache.seed + p.id()),
           tlb_(cfg.tlb.entries),
+          fast_(cfg.fastHit),
           heap_(mem::AddressMap::privBase(p.id()),
                 mem::AddressMap::kPrivStride),
           cfg_(cfg)
@@ -71,21 +73,44 @@ class MpMemory
     void
     access(Addr a, bool write)
     {
+        Addr block = cache_.blockOf(a);
         auto& counts = p_.stats().counts();
-        if (!tlb_.access(a)) {
+        // Fast-hit shortcut: a valid memo entry proves the TLB probe
+        // would hit (epoch match, see mem/fast_hit.hh), so it can be
+        // skipped. The memoized pointer may only be acted on AFTER
+        // the charge: advance() may yield at a quantum boundary or
+        // deliver an interrupt, either of which can invalidate it. An
+        // unchanged stall generation proves neither happened, so the
+        // pre-charge memo still describes live state; otherwise
+        // re-look-up exactly where the slow path calls find().
+        mem::Line* memo = fast_.lookup(block, tlb_.epoch());
+        std::uint64_t gen = p_.stallGen();
+        if (memo == nullptr && !tlb_.access(a)) {
             counts.tlbMisses++;
             p_.advance(sim::CostKind::Tlb, cfg_.tlb.missPenalty);
         }
         counts.privAccesses++;
         p_.advance(sim::CostKind::Comp, 1); // the ld/st instruction
-        Addr block = cache_.blockOf(a);
-        if (mem::Line* line = cache_.find(block)) {
+        mem::Line* line =
+            (memo != nullptr && p_.stallGen() == gen) ? memo : nullptr;
+        if (line == nullptr) {
+            // Only a full-scan hit needs memoizing: on the two memo
+            // paths the filter slot already holds this entry.
+            line = fast_.lookup(block, tlb_.epoch());
+            if (line == nullptr) {
+                line = cache_.find(block);
+                if (line != nullptr)
+                    fast_.remember(block, line, tlb_.epoch());
+            }
+        }
+        if (line != nullptr) {
             line->dirty |= write;
             return;
         }
         counts.privMisses++;
-        mem::Victim v =
-            cache_.insert(block, mem::LineState::Exclusive, write);
+        mem::Victim v;
+        line = cache_.insert(block, mem::LineState::Exclusive, write, &v);
+        fast_.remember(block, line, tlb_.epoch());
         Cycle stall = cfg_.privMissBase + cfg_.dramAccess +
                       (v.valid ? cfg_.mpReplacement : 0);
         p_.advance(sim::CostKind::PrivMiss, stall);
@@ -110,6 +135,7 @@ class MpMemory
     mem::BackingStore& store() { return store_; }
     mem::Cache& cache() { return cache_; }
     mem::Tlb& tlb() { return tlb_; }
+    mem::FastHitFilter& fastHit() { return fast_; }
     sim::Processor& proc() { return p_; }
 
   private:
@@ -117,6 +143,7 @@ class MpMemory
     mem::BackingStore& store_;
     mem::Cache cache_;
     mem::Tlb tlb_;
+    mem::FastHitFilter fast_;
     mem::BumpAllocator heap_;
     const core::MachineConfig& cfg_;
 };

@@ -17,7 +17,7 @@
  * timestamp; ordering between a fixed (src, dst) pair is FIFO.
  */
 
-#include <functional>
+#include <algorithm>
 #include <vector>
 
 #include "sim/engine.hh"
@@ -83,7 +83,7 @@ class Network
      *         a nominal, possibly-wrong timestamp here.
      */
     Cycle
-    deliver(Cycle now, NodeId from, NodeId to, std::function<void()> fn)
+    deliver(Cycle now, NodeId from, NodeId to, sim::EventFn fn)
     {
         if (gap_ == 0 || from == to) {
             Cycle at = now + latency(from, to);

@@ -158,19 +158,18 @@ Engine::schedule(Cycle t, EventQueue::Callback cb)
 {
     if (hostThreads_ > 1 && tls_current_proc) {
         tls_current_proc->deferred_.push_back(
-            [this, t, cb = std::move(cb)]() mutable {
-                events_.schedule(t, std::move(cb));
-            });
+            Processor::DeferredOp{t, std::move(cb), true});
         return;
     }
     events_.schedule(t, std::move(cb));
 }
 
 void
-Engine::defer(std::function<void()> fn)
+Engine::defer(EventQueue::Callback fn)
 {
     if (hostThreads_ > 1 && tls_current_proc) {
-        tls_current_proc->deferred_.push_back(std::move(fn));
+        tls_current_proc->deferred_.push_back(
+            Processor::DeferredOp{0, std::move(fn), false});
         return;
     }
     fn();
@@ -302,7 +301,20 @@ Engine::run()
 void
 Engine::runSequential()
 {
-    while (!allFinished()) {
+    // The loop's termination test is a live-processor count, not a
+    // per-quantum allFinished() scan: a processor leaves the live set
+    // only inside its own runUntil slice (nothing un-finishes a
+    // processor), so decrementing right after the slice is exact and
+    // saves one full pass over the processor array per quantum — a
+    // measurable slice of host time at ~1 quantum per 100 simulated
+    // cycles.
+    std::size_t live = 0;
+    for (const auto& p : procs_) {
+        Processor::State s = p->state();
+        if (s != Processor::State::Idle && s != Processor::State::Finished)
+            ++live;
+    }
+    while (live != 0) {
         Cycle qend = quantumStart_ + quantum_;
         std::size_t nev = events_.runUntil(qend);
         if (tracer_ && nev != 0) {
@@ -317,6 +329,8 @@ Engine::runSequential()
             if (p->ready() && p->now() < qend) {
                 p->runUntil(qend);
                 ran = true;
+                if (p->state() == Processor::State::Finished)
+                    --live;
             }
         }
 
@@ -334,7 +348,8 @@ Engine::runSequential()
             quantumStart_ = qend;
             continue;
         }
-        idleSkipOrDeadlock();
+        if (live != 0)
+            idleSkipOrDeadlock();
     }
 }
 
@@ -416,8 +431,12 @@ Engine::runParallel()
             for (auto& p : procs_) {
                 if (p->deferred_.empty())
                     continue;
-                for (auto& fn : p->deferred_)
-                    fn();
+                for (auto& op : p->deferred_) {
+                    if (op.isSchedule)
+                        events_.schedule(op.at, std::move(op.fn));
+                    else
+                        op.fn();
+                }
                 p->deferred_.clear();
             }
 

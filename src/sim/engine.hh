@@ -85,7 +85,7 @@ class Engine
      * execution order. Cross-processor hardware models (barrier
      * registration, contended-link bookkeeping) route through this.
      */
-    void defer(std::function<void()> fn);
+    void defer(EventQueue::Callback fn);
 
     /** True when a defer() issued right now would be queued. */
     bool deferring() const;

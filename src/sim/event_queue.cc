@@ -2,21 +2,83 @@
 
 #include "audit/check.hh"
 
+#include <algorithm>
 #include <utility>
 
 namespace wwt::sim
 {
 
-void
-EventQueue::schedule(Cycle t, Callback cb)
+std::uint32_t
+EventQueue::acquireSlot(Callback&& cb)
 {
-    pq_.push(Item{t, seq_++, std::move(cb)});
+    if (!free_.empty()) {
+        std::uint32_t slot = free_.back();
+        free_.pop_back();
+        pool_[slot] = std::move(cb);
+        return slot;
+    }
+    pool_.push_back(std::move(cb));
+    return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
+void
+EventQueue::schedule(Cycle t, Callback&& cb)
+{
+    std::uint32_t slot = acquireSlot(std::move(cb));
+    WWT_AUDIT(slot <= kSlotMask && seq_ >> (64 - kSlotBits) == 0,
+              "event calendar exhausted its packed-handle range: slot "
+                  << slot << " seq " << seq_);
+    pushHeap(Item{t, (seq_++ << kSlotBits) | slot});
+}
+
+void
+EventQueue::pushHeap(Item it)
+{
+    // Hole insertion: shift ancestors down and place the new item
+    // once, instead of swapping at every level.
+    std::size_t i = heap_.size();
+    heap_.push_back(it);
+    while (i != 0) {
+        std::size_t parent = (i - 1) / 4;
+        if (!before(it, heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        i = parent;
+    }
+    heap_[i] = it;
+}
+
+void
+EventQueue::popHeap()
+{
+    Item last = heap_.back();
+    heap_.pop_back();
+    if (heap_.empty())
+        return;
+    std::size_t n = heap_.size();
+    std::size_t i = 0;
+    for (;;) {
+        std::size_t first = 4 * i + 1;
+        if (first >= n)
+            break;
+        std::size_t best = first;
+        std::size_t end = std::min(first + 4, n);
+        for (std::size_t c = first + 1; c < end; ++c) {
+            if (before(heap_[c], heap_[best]))
+                best = c;
+        }
+        if (!before(heap_[best], last))
+            break;
+        heap_[i] = heap_[best];
+        i = best;
+    }
+    heap_[i] = last;
 }
 
 Cycle
 EventQueue::nextTime() const
 {
-    return pq_.empty() ? kCycleMax : pq_.top().time;
+    return heap_.empty() ? kCycleMax : heap_.front().time;
 }
 
 std::size_t
@@ -33,21 +95,23 @@ EventQueue::runUntil(Cycle limit)
     Cycle lastTime = 0;
     std::uint64_t lastSeq = 0;
     bool first = true;
-    while (!pq_.empty() && pq_.top().time < limit) {
-        const Item& top = pq_.top();
+    while (!heap_.empty() && heap_.front().time < limit) {
+        Item top = heap_.front();
         WWT_AUDIT(first || top.time > lastTime ||
-                      (top.time == lastTime && top.seq > lastSeq),
+                      (top.time == lastTime && top.seq() > lastSeq),
                   "calendar ran backwards: popped event (cycle "
-                      << top.time << ", seq " << top.seq
+                      << top.time << ", seq " << top.seq()
                       << ") after (cycle " << lastTime << ", seq "
                       << lastSeq << ") in one drain");
         lastTime = top.time;
-        lastSeq = top.seq;
+        lastSeq = top.seq();
         first = false;
-        // Move the callback out before popping so the event may
-        // schedule further events without invalidating itself.
-        Callback cb = std::move(const_cast<Item&>(top).cb);
-        pq_.pop();
+        // Move the callback out of its pool slot and release the
+        // slot before running, so the event may schedule further
+        // events without invalidating itself.
+        Callback cb = std::move(pool_[top.slot()]);
+        free_.push_back(top.slot());
+        popHeap();
         cb();
         ++n;
         ++executed_;

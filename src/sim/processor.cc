@@ -118,7 +118,10 @@ Processor::yieldFiber(State new_state)
     state_ = new_state;
     onFiber_ = false;
     fiber_->yieldToCaller();
-    // Back on the fiber: the engine set state_ = Running.
+    // Back on the fiber: the engine set state_ = Running. Events (or,
+    // under the parallel host, the merge pass) may have run while we
+    // were off the fiber — invalidate pre-yield machine-state samples.
+    ++stallGen_;
     onFiber_ = true;
 }
 

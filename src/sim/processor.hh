@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "sim/fiber.hh"
+#include "sim/small_fn.hh"
 #include "sim/types.hh"
 #include "stats/proc_stats.hh"
 #include "trace/tracer.hh"
@@ -154,6 +155,17 @@ class Processor
     /** Mark an interrupt pending (delivered at the next advance()). */
     void raiseInterrupt() { irqPending_ = true; }
 
+    /**
+     * Monotonic count of the points at which foreign code may have
+     * run on behalf of (or concurrently with) this fiber: every fiber
+     * yield and every delivered interrupt bumps it. A memory front
+     * end that sampled machine state before a charge may keep trusting
+     * that sample exactly when the generation is unchanged afterwards
+     * — nothing else can have mutated the model in between (events
+     * only run between fiber slices, handlers only at delivery).
+     */
+    std::uint64_t stallGen() const { return stallGen_; }
+
   private:
     friend class Engine;
 
@@ -194,6 +206,7 @@ class Processor
             irqPending_ = false;
             irqHandler_();
             inIrq_ = false;
+            ++stallGen_;
         }
     }
 
@@ -209,6 +222,7 @@ class Processor
     Cycle clock_ = 0;
     Cycle quantumEnd_ = 0;
     bool onFiber_ = false;
+    std::uint64_t stallGen_ = 0;
     const char* blockCause_ = nullptr;
     trace::Tracer* tracer_ = nullptr;
     stats::ProcStats stats_;
@@ -223,12 +237,27 @@ class Processor
     /** Paused at a serial point; awaiting the engine's serial pass. */
     bool serialPending_ = false;
     /**
+     * One cross-processor operation issued by this processor's fiber
+     * during the current quantum: either a calendar schedule (executed
+     * as events_.schedule(at, fn) at the rendezvous) or an immediate
+     * action (executed as fn()). Stored natively rather than wrapped
+     * in a forwarding lambda so the capture still fits an EventFn's
+     * inline buffer — a wrapper around an already-inline-sized
+     * callback would spill every deferred schedule to the arena.
+     */
+    struct DeferredOp {
+        Cycle at = 0;
+        EventFn fn;
+        bool isSchedule = false;
+    };
+
+    /**
      * Cross-processor operations issued by this processor's fiber
      * during the current quantum, in program order. The engine drains
      * the lists at the quantum rendezvous in processor-id order, which
      * reproduces the sequential calendar-insertion order exactly.
      */
-    std::vector<std::function<void()>> deferred_;
+    std::vector<DeferredOp> deferred_;
 };
 
 /** RAII guard installing an attribution frame on a processor. */

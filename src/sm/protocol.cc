@@ -202,7 +202,7 @@ DirProtocol::service(NodeId home, Addr block, Req r, Cycle at)
     }
     DirEntry& e = dir_[block];
     if (e.busy) {
-        e.q.emplace_back(r, at);
+        pending_[block].q.emplace_back(r, at);
         return;
     }
 
@@ -220,23 +220,29 @@ DirProtocol::service(NodeId home, Addr block, Req r, Cycle at)
             return;
         }
         // Write into a shared block: invalidate every other sharer.
-        std::vector<NodeId> victims;
+        // Stack-resident victim list — this runs per write-fault
+        // service, so a heap-backed vector here is a malloc on the
+        // protocol hot path.
+        NodeId victims[kMaxSmProcs];
+        std::size_t nVictims = 0;
         for (std::size_t s = 0; s < engine_.numProcs(); ++s) {
             if (e.sharers.test(s) && s != r.req)
-                victims.push_back(static_cast<NodeId>(s));
+                victims[nVictims++] = static_cast<NodeId>(s);
         }
         bool req_listed = e.sharers.test(r.req);
-        if (victims.empty()) {
+        if (nVictims == 0) {
             grant(home, block, e, r, start,
                   !(r.hadCopy && req_listed));
             return;
         }
         e.busy = true;
-        e.txn.r = r;
-        e.txn.pendingAcks = static_cast<int>(victims.size());
-        e.txn.needData = !(r.hadCopy && req_listed);
+        Pending& p = pending_[block];
+        p.txn.r = r;
+        p.txn.pendingAcks = static_cast<int>(nVictims);
+        p.txn.needData = !(r.hadCopy && req_listed);
         Cycle t = start + cfg_.dirBase;
-        for (NodeId s : victims) {
+        for (std::size_t i = 0; i < nVictims; ++i) {
+            NodeId s = victims[i];
             t += cfg_.dirMsgSend;
             counts(home).invalsSent++;
             countMsg(home, s, false);
@@ -259,8 +265,9 @@ DirProtocol::service(NodeId home, Addr block, Req r, Cycle at)
             return;
         }
         e.busy = true;
-        e.txn.r = r;
-        e.txn.needData = true;
+        Pending& p = pending_[block];
+        p.txn.r = r;
+        p.txn.needData = true;
         Cycle t = start + cfg_.dirBase + cfg_.dirMsgSend;
         dirBusy_[home] = t;
         NodeId owner = e.owner;
@@ -297,7 +304,7 @@ DirProtocol::grant(NodeId home, Addr block, DirEntry& e, const Req& r,
     engine_.schedule(at, [this, rc, at] { fill(rc, at); });
     // This transaction completed without a busy period, but requests
     // may have queued behind an earlier one; keep draining.
-    drainQueue(home, block, done);
+    drainQueue(home, block, e, pending_.find(block), done);
 }
 
 void
@@ -331,10 +338,12 @@ void
 DirProtocol::onFetchReply(NodeId home, Addr block, Cycle at)
 {
     DirEntry& e = dir_[block];
-    WWT_AUDIT(e.busy, "fetch reply for an idle directory entry: home "
-                          << home << " block 0x" << std::hex << block
-                          << std::dec << " at cycle " << at);
-    Req r = e.txn.r;
+    Pending* p = pending_.find(block);
+    WWT_AUDIT(e.busy && p != nullptr,
+              "fetch reply for an idle directory entry: home "
+                  << home << " block 0x" << std::hex << block
+                  << std::dec << " at cycle " << at);
+    Req r = p->txn.r;
     Cycle start = std::max(at, dirBusy_[home]);
     Cycle done = start + cfg_.dirBase + cfg_.dirBlockRecv +
                  cfg_.dirMsgSend + cfg_.dirBlockSend;
@@ -354,7 +363,7 @@ DirProtocol::onFetchReply(NodeId home, Addr block, Cycle at)
     Cycle fill_at = done + net_.latency(home, r.req);
     engine_.schedule(fill_at, [this, r, fill_at] { fill(r, fill_at); });
     e.busy = false;
-    drainQueue(home, block, done);
+    drainQueue(home, block, e, p, done);
 }
 
 void
@@ -376,30 +385,32 @@ void
 DirProtocol::onAck(NodeId home, Addr block, Cycle at)
 {
     DirEntry& e = dir_[block];
-    WWT_AUDIT(e.busy && e.txn.pendingAcks > 0,
+    Pending* p = pending_.find(block);
+    WWT_AUDIT(e.busy && p != nullptr && p->txn.pendingAcks > 0,
               "stray invalidation ack: home "
                   << home << " block 0x" << std::hex << block << std::dec
                   << " busy=" << e.busy << " pendingAcks="
-                  << e.txn.pendingAcks << " at cycle " << at);
+                  << (p != nullptr ? p->txn.pendingAcks : 0)
+                  << " at cycle " << at);
     Cycle start = std::max(at, dirBusy_[home]);
     dirBusy_[home] = start + cfg_.dirBase;
-    if (--e.txn.pendingAcks > 0)
+    if (--p->txn.pendingAcks > 0)
         return;
 
-    const Req& r = e.txn.r;
+    Req r = p->txn.r;
+    bool need_data = p->txn.needData;
     Cycle done = dirBusy_[home] + cfg_.dirMsgSend +
-                 (e.txn.needData ? cfg_.dirBlockSend : 0);
+                 (need_data ? cfg_.dirBlockSend : 0);
     dirBusy_[home] = done;
     e.state = DirState::Exclusive;
     e.owner = r.req;
     e.sharers.reset();
     e.sharers.set(r.req);
-    countMsg(home, r.req, e.txn.needData);
+    countMsg(home, r.req, need_data);
     Cycle fill_at = done + net_.latency(home, r.req);
-    Req rc = r;
-    engine_.schedule(fill_at, [this, rc, fill_at] { fill(rc, fill_at); });
+    engine_.schedule(fill_at, [this, r, fill_at] { fill(r, fill_at); });
     e.busy = false;
-    drainQueue(home, block, done);
+    drainQueue(home, block, e, p, done);
 }
 
 void
@@ -433,13 +444,21 @@ DirProtocol::fill(const Req& r, Cycle at)
 }
 
 void
-DirProtocol::drainQueue(NodeId home, Addr block, Cycle at)
+DirProtocol::drainQueue(NodeId home, Addr block, DirEntry& e, Pending* p,
+                        Cycle at)
 {
-    DirEntry& e = dir_[block];
-    if (e.busy || e.q.empty())
+    if (e.busy)
         return;
-    auto [r, arrived] = e.q.front();
-    e.q.pop_front();
+    if (p == nullptr)
+        return;
+    if (p->q.empty()) {
+        // Transaction over, nobody waiting: retire the side entry so
+        // pending_ stays small enough to be cache-resident.
+        pending_.erase(block);
+        return;
+    }
+    auto [r, arrived] = p->q.front();
+    p->q.pop_front();
     queueDelay_ += at > arrived ? at - arrived : 0;
     service(home, block, r, std::max(at, arrived));
 }
@@ -447,32 +466,48 @@ DirProtocol::drainQueue(NodeId home, Addr block, Cycle at)
 void
 DirProtocol::auditConsistency() const
 {
-    for (const auto& [block, e] : dir_) {
+    pending_.forEach([&](Addr block, const Pending& p) {
+        const DirEntry* e = dir_.find(block);
+        WWT_AUDIT(e != nullptr && !e->busy,
+                  "busy directory entry outlived its transaction: home "
+                      << homeOf(block) << " block 0x" << std::hex << block
+                      << std::dec << " requester " << p.txn.r.req
+                      << " pendingAcks " << p.txn.pendingAcks);
+        WWT_AUDIT(p.q.empty(),
+                  "requests left queued on an idle directory entry: home "
+                      << homeOf(block) << " block 0x" << std::hex << block
+                      << std::dec << " queued " << p.q.size());
+    });
+    // Single-writer: at most one cache may hold any block writable
+    // (Exclusive line state, or dirty data), and it must be the
+    // recorded owner. Shared clean copies in other caches are legal
+    // (stale sharers, pushUpdate snapshots). One pass over the caches'
+    // line arrays gathers every writable holder, instead of probing
+    // all caches for each of the (far more numerous) tracked blocks.
+    struct Writable {
+        std::uint32_t writers = 0;
+        NodeId writer = 0;
+    };
+    sim::FlatMap<Writable> writable;
+    for (std::size_t n = 0; n < caches_.size(); ++n) {
+        caches_[n]->forEachValid([&](const mem::Line& line) {
+            if (line.dirty || line.state == mem::LineState::Exclusive) {
+                Writable& w = writable[caches_[n]->addrOf(line.block)];
+                w.writers++;
+                w.writer = static_cast<NodeId>(n);
+            }
+        });
+    }
+
+    dir_.forEach([&](Addr block, const DirEntry& e) {
         WWT_AUDIT(!e.busy,
                   "busy directory entry outlived its transaction: home "
                       << homeOf(block) << " block 0x" << std::hex << block
-                      << std::dec << " requester " << e.txn.r.req
-                      << " pendingAcks " << e.txn.pendingAcks);
-        WWT_AUDIT(e.q.empty(),
-                  "requests left queued on an idle directory entry: home "
-                      << homeOf(block) << " block 0x" << std::hex << block
-                      << std::dec << " queued " << e.q.size());
+                      << std::dec);
 
-        // Single-writer: at most one cache may hold the block writable
-        // (Exclusive line state, or dirty data), and it must be the
-        // recorded owner. Shared clean copies in other caches are
-        // legal (stale sharers, pushUpdate snapshots).
-        std::size_t writers = 0;
-        NodeId writer = 0;
-        for (std::size_t n = 0; n < caches_.size(); ++n) {
-            const mem::Line* line = caches_[n]->find(block / kBlockBytes);
-            if (!line)
-                continue;
-            if (line->dirty || line->state == mem::LineState::Exclusive) {
-                ++writers;
-                writer = static_cast<NodeId>(n);
-            }
-        }
+        const Writable* w = writable.find(block);
+        std::size_t writers = w != nullptr ? w->writers : 0;
+        NodeId writer = w != nullptr ? w->writer : 0;
         WWT_AUDIT(writers <= 1,
                   "single-writer violated: block 0x"
                       << std::hex << block << std::dec << " held writable "
@@ -487,17 +522,17 @@ DirProtocol::auditConsistency() const
                           << static_cast<int>(e.state) << " owner "
                           << e.owner << " (home " << homeOf(block) << ")");
         }
-    }
+    });
 }
 
 DirProtocol::DirSnapshot
 DirProtocol::snapshot(Addr block_addr) const
 {
     DirSnapshot s;
-    auto it = dir_.find(blockOf(block_addr));
-    if (it == dir_.end())
+    const DirEntry* entry = dir_.find(blockOf(block_addr));
+    if (entry == nullptr)
         return s;
-    const DirEntry& e = it->second;
+    const DirEntry& e = *entry;
     s.state = static_cast<int>(e.state);
     s.sharers = e.sharers.count();
     s.owner = e.owner;

@@ -28,8 +28,7 @@
 
 #include <bitset>
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/config.hh"
@@ -38,6 +37,7 @@
 #include "mem/address_map.hh"
 #include "mem/cache.hh"
 #include "net/network.hh"
+#include "sim/flat_map.hh"
 #include "sim/engine.hh"
 
 namespace wwt::sm
@@ -174,13 +174,54 @@ class DirProtocol
         bool needData = true;
     };
 
+    /**
+     * FIFO of requests waiting on a busy entry. A std::deque here
+     * would allocate its map block on *default construction*, which
+     * the directory table pays for every slot on every rehash; this
+     * vector-backed queue allocates nothing until a request actually
+     * queues (rare: only under same-block contention).
+     */
+    struct ReqQueue {
+        std::vector<std::pair<Req, Cycle>> buf;
+        std::size_t head = 0;
+
+        bool empty() const { return head == buf.size(); }
+        std::size_t size() const { return buf.size() - head; }
+        void
+        emplace_back(const Req& r, Cycle at)
+        {
+            buf.emplace_back(r, at);
+        }
+        const std::pair<Req, Cycle>& front() const { return buf[head]; }
+        void
+        pop_front()
+        {
+            if (++head == buf.size()) {
+                buf.clear();
+                head = 0;
+            }
+        }
+    };
+
+    /**
+     * The per-block directory state, kept deliberately small (24
+     * bytes): the table holds one entry per shared block ever touched
+     * — far beyond any cache level — so every protocol event pays a
+     * memory access per entry touched. Transaction state lives in
+     * pending_, which only holds blocks with an in-flight transaction
+     * (at most one per processor) and therefore stays cache-resident.
+     */
     struct DirEntry {
-        DirState state = DirState::Uncached;
         std::bitset<kMaxSmProcs> sharers;
         NodeId owner = 0;
+        DirState state = DirState::Uncached;
         bool busy = false;
+    };
+
+    /** In-flight transaction + waiters of one busy block. */
+    struct Pending {
         Txn txn;
-        std::deque<std::pair<Req, Cycle>> q;
+        ReqQueue q;
     };
 
     Addr blockOf(Addr a) const { return a & ~(Addr{kBlockBytes} - 1); }
@@ -203,7 +244,14 @@ class DirProtocol
     void onAck(NodeId home, Addr block, Cycle at);
     void fill(const Req& r, Cycle at);
     void onWriteback(NodeId home, Addr block, NodeId from, Cycle at);
-    void drainQueue(NodeId home, Addr block, Cycle at);
+    /**
+     * Pop the next queued request, if any, once @p e went idle.
+     * Callers pass the directory entry (and, when they already hold
+     * it, the pending entry) they just looked up, so the drain does
+     * not repeat the table probes of the handler it ends.
+     */
+    void drainQueue(NodeId home, Addr block, DirEntry& e, Pending* p,
+                    Cycle at);
 
     sim::Engine& engine_;
     net::Network& net_;
@@ -212,7 +260,23 @@ class DirProtocol
     std::vector<mem::Cache*> caches_;
     const core::MachineConfig& cfg_;
 
-    std::unordered_map<Addr, DirEntry> dir_; // keyed by block address
+    /**
+     * Directory entries, keyed by block address. Entries are created
+     * on first touch and never erased, so the open-addressed table
+     * needs no tombstones. FlatMap references are invalidated by
+     * insertion of a NEW block (rehash): every event handler re-looks
+     * its entry up on entry and only same-block recursion (grant →
+     * drainQueue → service) runs under a held reference, which cannot
+     * insert.
+     */
+    sim::FlatMapAoS<DirEntry> dir_;
+    /**
+     * Transaction state keyed by block, populated while the block is
+     * busy (or has queued requests) and erased when the last waiter
+     * drains — see drainQueue(). Invariant: e.busy implies a pending_
+     * entry for the block.
+     */
+    sim::FlatMap<Pending> pending_;
     std::vector<Cycle> dirBusy_;             // per home node
     std::vector<std::uint64_t> atomicResult_;
     Cycle queueDelay_ = 0;

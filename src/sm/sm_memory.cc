@@ -10,14 +10,12 @@ SmMemory::atomicOp(Addr a, AtomicKind k, std::uint64_t expect,
                    std::uint64_t nv)
 {
     assert(mem::AddressMap::isShared(a) && "atomics act on shared data");
-    checkTlb(a);
+    Addr bnum = cache_.blockOf(a);
     auto& counts = p_.stats().counts();
     counts.atomicOps++;
-    counts.sharedAccesses++;
-    p_.advance(sim::CostKind::Comp, 1);
+    mem::Line* line = chargeAccess(a, bnum, counts.sharedAccesses);
 
-    Addr bnum = cache_.blockOf(a);
-    if (mem::Line* line = cache_.find(bnum)) {
+    if (line != nullptr || (line = findAfterCharge(bnum))) {
         if (line->state == mem::LineState::Exclusive) {
             // Exclusivity in hand: the swap completes locally.
             line->dirty = true;
@@ -39,7 +37,10 @@ SmMemory::atomicOp(Addr a, AtomicKind k, std::uint64_t expect,
         counts.sharedMissLocal++;
     else
         counts.sharedMissRemote++;
-    mem::Victim v = cache_.insert(bnum, mem::LineState::Exclusive, true);
+    mem::Victim v;
+    fast_.remember(
+        bnum, cache_.insert(bnum, mem::LineState::Exclusive, true, &v),
+        tlb_.epoch());
     p_.advance(sim::CostKind::SharedMiss,
                cfg_.smSharedMissBase + replCost(v));
     maybeWriteback(v);
@@ -50,13 +51,11 @@ SmMemory::atomicOp(Addr a, AtomicKind k, std::uint64_t expect,
 bool
 SmMemory::sharedWrite(Addr a, std::uint64_t bits, unsigned width)
 {
-    checkTlb(a);
-    auto& counts = p_.stats().counts();
-    counts.sharedAccesses++;
-    p_.advance(sim::CostKind::Comp, 1);
-
     Addr bnum = cache_.blockOf(a);
-    if (mem::Line* line = cache_.find(bnum)) {
+    auto& counts = p_.stats().counts();
+    mem::Line* line = chargeAccess(a, bnum, counts.sharedAccesses);
+
+    if (line != nullptr || (line = findAfterCharge(bnum))) {
         if (line->state == mem::LineState::Exclusive) {
             line->dirty = true;
             return true; // caller stores immediately
@@ -74,7 +73,10 @@ SmMemory::sharedWrite(Addr a, std::uint64_t bits, unsigned width)
         counts.sharedMissLocal++;
     else
         counts.sharedMissRemote++;
-    mem::Victim v = cache_.insert(bnum, mem::LineState::Exclusive, true);
+    mem::Victim v;
+    fast_.remember(
+        bnum, cache_.insert(bnum, mem::LineState::Exclusive, true, &v),
+        tlb_.epoch());
     p_.advance(sim::CostKind::SharedMiss,
                cfg_.smSharedMissBase + replCost(v));
     maybeWriteback(v);

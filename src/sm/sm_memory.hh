@@ -19,6 +19,7 @@
 #include "mem/address_map.hh"
 #include "mem/backing_store.hh"
 #include "mem/cache.hh"
+#include "mem/fast_hit.hh"
 #include "mem/tlb.hh"
 #include "sim/processor.hh"
 #include "sm/protocol.hh"
@@ -38,6 +39,7 @@ class SmMemory
         : p_(p), store_(store), shalloc_(shalloc), proto_(proto),
           cache_(cache),
           tlb_(cfg.tlb.entries),
+          fast_(cfg.fastHit),
           heap_(mem::AddressMap::privBase(p.id()),
                 mem::AddressMap::kPrivStride),
           cfg_(cfg)
@@ -132,6 +134,7 @@ class SmMemory
 
     mem::Cache& cache() { return cache_; }
     mem::Tlb& tlb() { return tlb_; }
+    mem::FastHitFilter& fastHit() { return fast_; }
     sim::Processor& proc() { return p_; }
     mem::BackingStore& store() { return store_; }
 
@@ -165,21 +168,68 @@ class SmMemory
         }
     }
 
+    /**
+     * The TLB/count/charge prologue shared by the private and shared
+     * access paths, with the fast-hit shortcut.
+     *
+     * When the filter has a valid entry at function entry, checkTlb
+     * is provably a charge-free hit (the epoch match, see
+     * mem/fast_hit.hh) and is skipped. The memoized line pointer may
+     * only be acted on *after* the charge: advance() may yield at a
+     * quantum boundary and protocol events may invalidate or move the
+     * block meanwhile. The processor's stall generation tells the two
+     * cases apart — unchanged means nothing ran off-fiber during the
+     * charge, so the pre-charge memo still describes live state and
+     * is returned; otherwise the caller must re-look-up at the same
+     * point where the slow path calls find().
+     *
+     * @return the memoized line when it is still trustworthy after
+     *         the charge, nullptr when the caller must look up.
+     */
+    mem::Line*
+    chargeAccess(Addr a, Addr bnum, std::uint64_t& counter)
+    {
+        mem::Line* memo = fast_.lookup(bnum, tlb_.epoch());
+        std::uint64_t gen = p_.stallGen();
+        if (memo == nullptr)
+            checkTlb(a);
+        counter++;
+        p_.advance(sim::CostKind::Comp, 1);
+        return p_.stallGen() == gen ? memo : nullptr;
+    }
+
+    /**
+     * Post-charge lookup: revalidate the memo, else the full scan.
+     * Only a full-scan hit is worth memoizing here — on the memo
+     * paths the filter slot already holds exactly this entry, so the
+     * callers skip the redundant remember() on their hit paths.
+     */
+    mem::Line*
+    findAfterCharge(Addr bnum)
+    {
+        mem::Line* line = fast_.lookup(bnum, tlb_.epoch());
+        if (line == nullptr) {
+            line = cache_.find(bnum);
+            if (line != nullptr)
+                fast_.remember(bnum, line, tlb_.epoch());
+        }
+        return line;
+    }
+
     void
     accessPrivate(Addr a, bool write)
     {
-        checkTlb(a);
-        auto& counts = p_.stats().counts();
-        counts.privAccesses++;
-        p_.advance(sim::CostKind::Comp, 1);
         Addr bnum = cache_.blockOf(a);
-        if (mem::Line* line = cache_.find(bnum)) {
+        auto& counts = p_.stats().counts();
+        mem::Line* line = chargeAccess(a, bnum, counts.privAccesses);
+        if (line != nullptr || (line = findAfterCharge(bnum))) {
             line->dirty |= write;
             return;
         }
         counts.privMisses++;
-        mem::Victim v =
-            cache_.insert(bnum, mem::LineState::Exclusive, write);
+        mem::Victim v;
+        line = cache_.insert(bnum, mem::LineState::Exclusive, write, &v);
+        fast_.remember(bnum, line, tlb_.epoch());
         p_.advance(sim::CostKind::PrivMiss,
                    cfg_.privMissBase + cfg_.dramAccess + replCost(v));
         maybeWriteback(v);
@@ -188,12 +238,10 @@ class SmMemory
     void
     accessShared(Addr a, bool write)
     {
-        checkTlb(a);
-        auto& counts = p_.stats().counts();
-        counts.sharedAccesses++;
-        p_.advance(sim::CostKind::Comp, 1);
         Addr bnum = cache_.blockOf(a);
-        if (mem::Line* line = cache_.find(bnum)) {
+        auto& counts = p_.stats().counts();
+        mem::Line* line = chargeAccess(a, bnum, counts.sharedAccesses);
+        if (line != nullptr || (line = findAfterCharge(bnum))) {
             if (!write)
                 return;
             if (line->state == mem::LineState::Exclusive) {
@@ -212,10 +260,12 @@ class SmMemory
             counts.sharedMissLocal++;
         else
             counts.sharedMissRemote++;
-        mem::Victim v = cache_.insert(
+        mem::Victim v;
+        line = cache_.insert(
             bnum,
             write ? mem::LineState::Exclusive : mem::LineState::Shared,
-            write);
+            write, &v);
+        fast_.remember(bnum, line, tlb_.epoch());
         p_.advance(sim::CostKind::SharedMiss,
                    cfg_.smSharedMissBase + replCost(v));
         maybeWriteback(v);
@@ -239,6 +289,7 @@ class SmMemory
     DirProtocol& proto_;
     mem::Cache& cache_;
     mem::Tlb tlb_;
+    mem::FastHitFilter fast_;
     mem::BumpAllocator heap_;
     const core::MachineConfig& cfg_;
 };

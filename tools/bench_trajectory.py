@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Perf-trajectory records for the hot-path benchmarks.
+
+The bench workflow runs bench/microbench and turns its JSON output
+into a compact *record* — per-benchmark ns/op plus, for the
+whole-quantum EM3D workloads, simulated-cycles-per-host-second —
+stamped with commit sha, date, build type and a host key. Records
+accumulate in bench/BENCH_trajectory.json, the committed trajectory
+file, so the repo itself carries the performance history.
+
+Verbs:
+
+  emit    parse a google-benchmark JSON file into one record
+  append  add a record to the trajectory file (newest last)
+  check   compare a fresh record against the most recent trajectory
+          record with the same host key and fail on regression
+
+A regression is a tracked benchmark whose ns/op grew by more than
+--threshold (default 0.15 = 15%) over the baseline. Comparing times
+measured on *different* hosts is meaningless, so `check` only gates
+against a baseline whose host_key matches; when none exists it fails
+unless --allow-missing-baseline is given (CI passes that flag so the
+gate arms itself after the first nightly append from the runner
+fleet). A tracked benchmark missing from either side is always a
+loud, named failure — a silently empty comparison is how perf gates
+rot.
+
+See docs/performance.md for the trajectory file format and how to
+read it.
+"""
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+
+# Benchmarks tracked in the trajectory. The whole-quantum pair is the
+# headline number (full simulated quantum loop, EM3D at 32 procs /
+# 512 nodes-per-proc / 5 iters); the rest pin the individual hot
+# structures so a regression can be localized without a profiler.
+TRACKED = [
+    "BM_WholeQuantumEm3dSm/1",
+    "BM_WholeQuantumEm3dMp/1",
+    "BM_CacheHit",
+    "BM_TlbHit",
+    "BM_EventQueueScheduleRun",
+    "BM_ProtocolRemoteMiss",
+]
+
+_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def fail(msg):
+    print(f"bench_trajectory: error: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path, what):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"cannot read {what} {path!r}: {e}")
+
+
+def pick_run(runs, name):
+    """Prefer the median aggregate, then mean, then the raw run."""
+    for suffix in ("_median", "_mean", ""):
+        for b in runs:
+            if b["name"] == name + suffix:
+                return b
+    return None
+
+
+def extract_results(bench_json_path):
+    data = load_json(bench_json_path, "benchmark output")
+    runs = data.get("benchmarks", [])
+    results = {}
+    missing = []
+    for name in TRACKED:
+        b = pick_run(runs, name)
+        if b is None:
+            missing.append(name)
+            continue
+        ns = b["real_time"] * _NS[b.get("time_unit", "ns")]
+        entry = {"ns_per_op": round(ns, 3)}
+        if "sim_cycles_per_sec" in b:
+            entry["sim_cycles_per_host_sec"] = round(
+                b["sim_cycles_per_sec"], 1)
+        results[name] = entry
+    if missing:
+        fail("benchmark(s) missing from "
+             f"{bench_json_path!r}: {', '.join(missing)} — "
+             "did a benchmark get renamed without updating TRACKED?")
+    return results
+
+
+def git_sha():
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def git_date():
+    try:
+        out = subprocess.run(
+            ["git", "show", "-s", "--format=%cs", "HEAD"],
+            capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def cmd_emit(args):
+    record = {
+        "sha": args.sha or git_sha(),
+        "date": args.date or git_date(),
+        "host_key": args.host_key or platform.node(),
+        "build_type": args.build_type,
+        "results": extract_results(args.bench_json),
+    }
+    with open(args.out, "w") as f:
+        json.dump(record, f, indent=2)
+        f.write("\n")
+    print(f"wrote record for {record['sha']} ({record['host_key']}) "
+          f"to {args.out}")
+    return 0
+
+
+def load_trajectory(path):
+    t = load_json(path, "trajectory file")
+    if t.get("schema") != 1 or not isinstance(t.get("records"), list):
+        fail(f"{path!r} is not a schema-1 trajectory file")
+    return t
+
+
+def cmd_append(args):
+    t = load_trajectory(args.trajectory)
+    record = load_json(args.record, "record")
+    t["records"].append(record)
+    with open(args.trajectory, "w") as f:
+        json.dump(t, f, indent=2)
+        f.write("\n")
+    print(f"appended record for {record.get('sha')} — "
+          f"{len(t['records'])} record(s) in {args.trajectory}")
+    return 0
+
+
+def cmd_check(args):
+    t = load_trajectory(args.trajectory)
+    record = load_json(args.record, "record")
+    host = args.host_key or record.get("host_key")
+    baselines = [r for r in t["records"]
+                 if r.get("host_key") == host]
+    if not baselines:
+        msg = (f"no baseline with host_key {host!r} in "
+               f"{args.trajectory} "
+               f"({len(t['records'])} record(s) from other hosts)")
+        if args.allow_missing_baseline:
+            print(f"bench_trajectory: {msg} — gate not armed, passing")
+            return 0
+        fail(msg)
+    base = baselines[-1]
+
+    print(f"baseline: {base.get('sha')} {base.get('date')} "
+          f"[{host}]  threshold: {args.threshold:.0%}")
+    print(f"{'benchmark':40} {'base ns/op':>14} {'now ns/op':>14} "
+          f"{'delta':>8}")
+    worst = []
+    for name in TRACKED:
+        b = base["results"].get(name)
+        c = record["results"].get(name)
+        if b is None or c is None:
+            side = "baseline" if b is None else "candidate"
+            fail(f"tracked benchmark {name!r} missing from the {side} "
+                 "record — refusing to report a partial comparison")
+        delta = c["ns_per_op"] / b["ns_per_op"] - 1.0
+        flag = "  <-- REGRESSION" if delta > args.threshold else ""
+        print(f"{name:40} {b['ns_per_op']:>14.1f} "
+              f"{c['ns_per_op']:>14.1f} {delta:>+7.1%}{flag}")
+        if delta > args.threshold:
+            worst.append((name, delta))
+        bc = b.get("sim_cycles_per_host_sec")
+        cc = c.get("sim_cycles_per_host_sec")
+        if bc and cc:
+            print(f"{'  sim-cycles/host-sec':40} {bc:>14.0f} "
+                  f"{cc:>14.0f} {cc / bc - 1.0:>+7.1%}")
+    if worst:
+        names = ", ".join(f"{n} (+{d:.0%})" for n, d in worst)
+        fail(f"perf regression beyond {args.threshold:.0%}: {names}")
+    print("trajectory check passed")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = ap.add_subparsers(dest="verb", required=True)
+
+    em = sub.add_parser("emit", help="benchmark JSON -> record")
+    em.add_argument("--bench-json", required=True)
+    em.add_argument("--out", required=True)
+    em.add_argument("--sha", help="default: git rev-parse --short HEAD")
+    em.add_argument("--date", help="default: HEAD commit date")
+    em.add_argument("--host-key",
+                    help="stable id of the measuring host class "
+                         "(default: hostname)")
+    em.add_argument("--build-type", default="RelWithDebInfo")
+    em.set_defaults(fn=cmd_emit)
+
+    app = sub.add_parser("append", help="record -> trajectory file")
+    app.add_argument("--trajectory", required=True)
+    app.add_argument("--record", required=True)
+    app.set_defaults(fn=cmd_append)
+
+    ck = sub.add_parser("check",
+                        help="fail on >threshold ns/op regression")
+    ck.add_argument("--trajectory", required=True)
+    ck.add_argument("--record", required=True)
+    ck.add_argument("--threshold", type=float, default=0.15)
+    ck.add_argument("--host-key",
+                    help="baseline host to compare against "
+                         "(default: the record's own host_key)")
+    ck.add_argument("--allow-missing-baseline", action="store_true")
+    ck.set_defaults(fn=cmd_check)
+
+    args = ap.parse_args()
+    sys.exit(args.fn(args))
+
+
+if __name__ == "__main__":
+    main()
