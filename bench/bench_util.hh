@@ -13,6 +13,10 @@
  *
  *   --trace=FILE      write a Chrome trace-event (catapult) JSON file
  *   --metrics=FILE    write the machine-readable metrics manifest
+ *   --host-prof=FILE  write the wwtcmp.hostprof/1 host-time profile
+ *                     at exit (simulated results are byte-identical
+ *                     with the profiler on or off; see
+ *                     docs/performance.md "Host-time profile")
  *   --host-threads=N  host worker threads for the quantum loop
  *                     (results are bit-identical for every N)
  *   --no-fast-hit     disable the fast-hit filter (bit-identical
@@ -41,6 +45,7 @@
 #include "core/metrics.hh"
 #include "core/parse.hh"
 #include "core/report.hh"
+#include "prof/hostprof.hh"
 
 namespace wwt::bench
 {
@@ -57,8 +62,9 @@ struct Options {
     bool fastHit = true;         ///< --no-fast-hit clears this
     bool checkShapes = false;    ///< --check-shapes
     std::string shapesFile = "bench/golden_shapes.json"; ///< --shapes=FILE
-    std::string traceFile;   ///< --trace=FILE (empty = off)
-    std::string metricsFile; ///< --metrics=FILE (empty = off)
+    std::string traceFile;    ///< --trace=FILE (empty = off)
+    std::string metricsFile;  ///< --metrics=FILE (empty = off)
+    std::string hostProfFile; ///< --host-prof=FILE (empty = off)
 };
 
 /** Match `--flag=VALUE` or `--flag VALUE`; advances @p i as needed. */
@@ -88,6 +94,7 @@ parseArgs(int argc, char** argv)
         std::string v;
         if (flagValue(argc, argv, i, "--trace", o.traceFile) ||
             flagValue(argc, argv, i, "--metrics", o.metricsFile) ||
+            flagValue(argc, argv, i, "--host-prof", o.hostProfFile) ||
             flagValue(argc, argv, i, "--shapes", o.shapesFile))
             continue;
         if (flagValue(argc, argv, i, "--host-threads", v)) {
@@ -112,6 +119,11 @@ parseArgs(int argc, char** argv)
             std::exit(2);
         }
     }
+    // Arm the profiler here so every bench driver honors the flag
+    // without touching its exit paths; the manifest (and the coverage
+    // self-audit line, on stderr) appear at process exit.
+    if (!o.hostProfFile.empty())
+        prof::enableWithManifestAtExit(o.hostProfFile);
     return o;
 }
 

@@ -8,7 +8,7 @@
  *           [--procs N] [--size N] [--iters N] [--local-alloc]
  *           [--cache-kb N] [--net-gap N] [--tree flat|binary|lop]
  *           [--host-threads N] [--no-fast-hit]
- *           [--trace FILE] [--metrics FILE]
+ *           [--trace FILE] [--metrics FILE] [--host-prof FILE]
  *
  * --host-threads picks the number of host worker threads driving the
  * quantum loop; every value produces bit-identical results (the CI
@@ -16,6 +16,10 @@
  * --no-fast-hit disables the fast-hit filter in front of the cache/TLB
  * model; results are bit-identical either way (CI enforces it — see
  * docs/performance.md), the flag exists for that gate and debugging.
+ * --host-prof writes a wwtcmp.hostprof/1 host-time profile at exit
+ * (which host-side phase the wall time went to); the simulated
+ * results and stdout are byte-identical with it on or off — CI gates
+ * that too. See docs/performance.md, "Host-time profile".
  *
  * This is a thin client of the experiment layer: app dispatch lives
  * in the exp registry (src/exp/registry.hh), shared with the
@@ -37,6 +41,7 @@
 #include "core/parse.hh"
 #include "core/report.hh"
 #include "exp/registry.hh"
+#include "prof/hostprof.hh"
 
 using namespace wwt;
 
@@ -57,6 +62,7 @@ struct Cli {
     std::string tree = "lop";
     std::string traceFile;
     std::string metricsFile;
+    std::string hostProfFile;
 };
 
 bool
@@ -139,6 +145,13 @@ parse(int argc, char** argv, Cli& c)
             c.metricsFile = v;
         } else if (!std::strncmp(argv[i], "--metrics=", 10)) {
             c.metricsFile = argv[i] + 10;
+        } else if (!std::strcmp(argv[i], "--host-prof")) {
+            const char* v = next("--host-prof");
+            if (!v)
+                return false;
+            c.hostProfFile = v;
+        } else if (!std::strncmp(argv[i], "--host-prof=", 12)) {
+            c.hostProfFile = argv[i] + 12;
         } else if (!std::strcmp(argv[i], "--local-alloc")) {
             c.localAlloc = true;
         } else if (!std::strcmp(argv[i], "--no-fast-hit")) {
@@ -159,6 +172,8 @@ main(int argc, char** argv)
     Cli c;
     if (!parse(argc, argv, c))
         return 2;
+    if (!c.hostProfFile.empty())
+        prof::enableWithManifestAtExit(c.hostProfFile);
 
     exp::LaunchSpec spec;
     spec.app = c.app;

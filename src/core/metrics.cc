@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "prof/hostprof.hh"
+
 #include "trace/catapult.hh"
 #include "trace/json.hh"
 
@@ -217,6 +219,7 @@ void
 ArtifactWriter::addRun(std::string name, const MachineConfig& cfg,
                        sim::Engine& engine, const MachineReport& rep)
 {
+    prof::ScopedPhase hp(prof::Phase::Trace);
     runs_.push_back({std::move(name), cfg, rep});
     if (const trace::Tracer* tr = engine.tracer())
         tracers_.emplace_back(*tr); // snapshot: the engine may die
@@ -227,6 +230,7 @@ ArtifactWriter::addRun(std::string name, const MachineConfig& cfg,
 bool
 ArtifactWriter::write() const
 {
+    prof::ScopedPhase hp(prof::Phase::Trace);
     bool ok = true;
     if (!metricsPath_.empty()) {
         std::ofstream os(metricsPath_);

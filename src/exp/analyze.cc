@@ -555,6 +555,13 @@ struct AttributionGroup {
     /** Per-category cycle delta (campaign - baseline), per proc. */
     std::vector<double> deltaByCat;
     double deltaTotal = 0; ///< signed total-cycles delta, per proc
+    /** Host-side deltas: where did the *wall* time go? Filled when
+     *  either side's records carry timing (wall_sec is recorded on
+     *  every run; host_phases only under --host-prof). */
+    double deltaWallSec = 0;
+    bool haveWall = false;
+    bool haveHostPhases = false;
+    std::map<std::string, double> deltaHostPhases; ///< name -> dsec
 
     double
     magnitude() const
@@ -673,6 +680,21 @@ attributeDiff(const std::map<std::string, RunRecord>& cur,
             g.deltaByCat[c] += (vc ? *vc : 0) - (vb ? *vb : 0);
         }
         g.deltaTotal += rc.totalCyclesPerProc - rb.totalCyclesPerProc;
+        g.deltaWallSec += rc.wallSec - rb.wallSec;
+        g.haveWall |= rc.wallSec != 0 || rb.wallSec != 0;
+        if (!rc.hostPhases.empty() || !rb.hostPhases.empty()) {
+            g.haveHostPhases = true;
+            std::set<std::string> phases;
+            for (const auto& [k, v] : rc.hostPhases)
+                phases.insert(k);
+            for (const auto& [k, v] : rb.hostPhases)
+                phases.insert(k);
+            for (const std::string& k : phases) {
+                const double* pc = findValue(rc.hostPhases, k);
+                const double* pb = findValue(rb.hostPhases, k);
+                g.deltaHostPhases[k] += (pc ? *pc : 0) - (pb ? *pb : 0);
+            }
+        }
     }
 
     for (auto& [sig, g] : groups)
@@ -803,6 +825,31 @@ renderAttributionText(std::ostream& os, const Attribution& attr,
                 snakeCategory(static_cast<stats::Category>(c)).c_str(),
                 g.deltaByCat[c] / 1e6);
             os << line;
+        }
+        if (g.haveWall) {
+            std::snprintf(line, sizeof(line),
+                          "      host wall %+.3f s\n", g.deltaWallSec);
+            os << line;
+        }
+        if (g.haveHostPhases) {
+            // The paper's question, asked of the simulator: which
+            // host phase absorbed the wall-time delta?
+            std::vector<std::pair<std::string, double>> ph(
+                g.deltaHostPhases.begin(), g.deltaHostPhases.end());
+            std::stable_sort(ph.begin(), ph.end(),
+                             [](const auto& x, const auto& y) {
+                                 return std::fabs(x.second) >
+                                        std::fabs(y.second);
+                             });
+            std::size_t nph = 0;
+            for (const auto& [k, v] : ph) {
+                if (v == 0 || ++nph > 3)
+                    break;
+                std::snprintf(line, sizeof(line),
+                              "      host phase %-12s %+.3f s\n",
+                              k.c_str(), v);
+                os << line;
+            }
         }
     }
     for (const std::string& id : attr.onlyInCampaign)
@@ -946,6 +993,17 @@ writeAnalysisJson(std::ostream& os, const std::string& dir,
                 w.endObject();
             }
             w.endArray();
+            w.kv("wall_delta_sec", g.deltaWallSec);
+            if (g.haveHostPhases) {
+                w.key("host_phases").beginArray();
+                for (const auto& [k, v] : g.deltaHostPhases) {
+                    w.beginObject();
+                    w.kv("phase", k);
+                    w.kv("delta_sec", v);
+                    w.endObject();
+                }
+                w.endArray();
+            }
             w.endObject();
         }
         w.endArray();
@@ -983,6 +1041,26 @@ analyzeCampaign(const std::string& dir, const AnalyzeOptions& opts,
     std::map<std::string, RunRecord> latest = store.loadLatest();
     if (latest.empty()) {
         os << dir << ": no records (run the campaign first)\n";
+        return 1;
+    }
+    int pass = 0, fail = 0, crash = 0, timeout = 0;
+    for (const auto& [id, rec] : latest) {
+        switch (rec.status) {
+          case RunStatus::Pass: ++pass; break;
+          case RunStatus::Fail: ++fail; break;
+          case RunStatus::Crash: ++crash; break;
+          case RunStatus::Timeout: ++timeout; break;
+        }
+    }
+    if (pass == 0) {
+        // Nothing here is analyzable; say so instead of emitting an
+        // all-"no analysis" report that reads as success.
+        char diag[256];
+        std::snprintf(diag, sizeof(diag),
+                      "%s: no passing records (%zu record(s): %d fail, "
+                      "%d crash, %d timeout)\n",
+                      dir.c_str(), latest.size(), fail, crash, timeout);
+        os << diag;
         return 1;
     }
 

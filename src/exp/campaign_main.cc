@@ -4,7 +4,7 @@
  *
  *   wwtcmp_campaign run <campaign.json> [--profile P] [--dir D]
  *                   [--jobs N] [--timeout S] [--retries N]
- *                   [--chaos-kill ID]
+ *                   [--chaos-kill ID] [--host-prof]
  *   wwtcmp_campaign resume <campaign.json> [same flags]
  *   wwtcmp_campaign list <campaign.json> [--profile P]
  *   wwtcmp_campaign report <dir> [--format text|json|csv]
@@ -23,11 +23,15 @@
  * `analyze` runs the performance-debugging analytics (outlier
  * processors, desynchronization waves, baseline attribution — see
  * docs/analytics.md). See docs/campaigns.md for the file and record
- * schemas.
+ * schemas. `run --host-prof` additionally collects a host-time profile
+ * per scenario (wwtcmp.hostprof/1, under <dir>/hostprof/) and fills
+ * the records' host-phase breakdown; wall/user/sys/max-RSS are
+ * recorded on every run regardless.
  */
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,6 +47,7 @@
 #include "exp/runner.hh"
 #include "exp/scenario.hh"
 #include "exp/store.hh"
+#include "prof/hostprof.hh"
 
 using namespace wwt;
 
@@ -59,7 +64,7 @@ usage(const char* msg = nullptr)
         "usage: wwtcmp_campaign run    <campaign.json> [--profile P] "
         "[--dir D] [--jobs N]\n"
         "                              [--timeout S] [--retries N] "
-        "[--chaos-kill ID]\n"
+        "[--chaos-kill ID] [--host-prof]\n"
         "       wwtcmp_campaign resume <campaign.json> [same flags]\n"
         "       wwtcmp_campaign list   <campaign.json> [--profile P]\n"
         "       wwtcmp_campaign report <dir> [--format text|json|csv]\n"
@@ -96,6 +101,7 @@ struct Cli {
     int retriesOverride = -1;
     std::string chaosKillId;
     double tolerance = 0.0;
+    bool hostProf = false;
     exp::ReportFormat format = exp::ReportFormat::Text;
     exp::AnalyzeOptions analyze;
     // --run-one internals
@@ -147,6 +153,8 @@ parseCli(int argc, char** argv, Cli& c)
                 "--retries", value("--retries"), 0, 100));
         } else if (!std::strcmp(argv[i], "--chaos-kill")) {
             c.chaosKillId = value("--chaos-kill");
+        } else if (!std::strcmp(argv[i], "--host-prof")) {
+            c.hostProf = true;
         } else if (!std::strcmp(argv[i], "--tol")) {
             c.tolerance = requireNonNegative("--tol", value("--tol"));
         } else if (!std::strcmp(argv[i], "--format")) {
@@ -222,6 +230,10 @@ runOne(const Cli& cli)
     rec.config = s->configKeyValues();
     rec.metricsPath = "metrics/" + s->id + ".json";
 
+    if (cli.hostProf)
+        prof::enable();
+    auto t0 = std::chrono::steady_clock::now();
+
     try {
         core::ArtifactWriter art("", store.metricsPath(s->id));
         exp::LaunchResult res =
@@ -248,6 +260,32 @@ runOne(const Cli& cli)
         rec.status = exp::RunStatus::Fail;
         rec.error = e.what();
         std::fprintf(stderr, "%s\n", e.what());
+    }
+
+    rec.wallSec = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    prof::Rusage ru = prof::selfRusage();
+    rec.userSec = ru.userSec;
+    rec.sysSec = ru.sysSec;
+    rec.maxRssKb = static_cast<double>(ru.maxRssKb);
+    if (cli.hostProf) {
+        prof::Report hp = prof::snapshot();
+        rec.hostPhases.emplace_back(
+            "untracked",
+            hp.phase[static_cast<std::size_t>(
+                         prof::Phase::Untracked)]
+                .sec);
+        for (std::size_t i = 1; i < prof::kNumPhases; ++i) {
+            rec.hostPhases.emplace_back(
+                prof::phaseName(static_cast<prof::Phase>(i)),
+                hp.phase[i].sec);
+        }
+        std::ofstream hos(store.hostprofPath(s->id));
+        if (hos)
+            prof::writeManifest(hos, hp);
+        // Coverage self-audit to stderr -> the scenario's log file.
+        std::fprintf(stderr, "%s\n", prof::coverageLine(hp).c_str());
     }
 
     std::ofstream os(store.tmpRecordPath(s->id));
@@ -330,11 +368,14 @@ runCampaign(const Cli& cli, const char* argv0, bool resume)
     ropts.jobs = jobs;
     ropts.chaosKillId = cli.chaosKillId;
     exp::Runner runner(ropts, [&](const exp::Scenario& s) {
-        return std::vector<std::string>{
+        std::vector<std::string> cmd{
             exe,          "--run-one",  path,
             "--profile",  cli.profile,  "--scenario",
             s.id,         "--dir",      store.dir(),
         };
+        if (cli.hostProf)
+            cmd.push_back("--host-prof");
+        return cmd;
     });
 
     std::size_t done = 0;

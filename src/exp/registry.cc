@@ -10,6 +10,7 @@
 #include "apps/lcp.hh"
 #include "apps/mse.hh"
 #include "audit/audit.hh"
+#include "prof/hostprof.hh"
 #include "mp/mp_machine.hh"
 #include "sm/sm_machine.hh"
 
@@ -220,7 +221,12 @@ launch(const LaunchSpec& spec, core::ArtifactWriter* art,
         e.proc(0).stats().phase(0).cycles[0] += 12345;
     }
 
-    res.report = core::collectReport(e, res.phases);
+    {
+        // Report collection re-runs the audit sweeps; host-wise both
+        // are verification overhead.
+        prof::ScopedPhase hp(prof::Phase::Audit);
+        res.report = core::collectReport(e, res.phases);
+    }
     if (art)
         art->addRun(run_name.empty() ? spec.app + "-" + spec.machine
                                      : run_name,

@@ -87,6 +87,16 @@ reportJson(const std::map<std::string, RunRecord>& latest,
         for (const auto& [k, v] : rec.counts)
             w.kv(k, v);
         w.endObject();
+        w.kv("wall_sec", rec.wallSec);
+        w.kv("user_sec", rec.userSec);
+        w.kv("sys_sec", rec.sysSec);
+        w.kv("max_rss_kb", rec.maxRssKb);
+        if (!rec.hostPhases.empty()) {
+            w.key("host_phases").beginObject();
+            for (const auto& [k, v] : rec.hostPhases)
+                w.kv(k, v);
+            w.endObject();
+        }
         w.kv("shape_violations", rec.shapeViolations);
         w.kv("error", rec.error);
         w.endObject();
@@ -113,6 +123,7 @@ reportCsv(const std::map<std::string, RunRecord>& latest,
         }
         os << ',' << name;
     }
+    os << ",wall_sec,user_sec,sys_sec,max_rss_kb";
     os << '\n';
     char num[40];
     for (const auto& [id, rec] : latest) {
@@ -124,6 +135,11 @@ reportCsv(const std::map<std::string, RunRecord>& latest,
         os << ',' << num;
         for (std::size_t i = 0; i < stats::kNumCategories; ++i) {
             double v = i < rec.cycles.size() ? rec.cycles[i].second : 0;
+            std::snprintf(num, sizeof(num), "%.17g", v);
+            os << ',' << num;
+        }
+        for (double v : {rec.wallSec, rec.userSec, rec.sysSec,
+                         rec.maxRssKb}) {
             std::snprintf(num, sizeof(num), "%.17g", v);
             os << ',' << num;
         }
@@ -143,6 +159,28 @@ reportCampaign(const std::string& dir, std::ostream& os,
         os << dir << ": no records (run the campaign first)\n";
         return 1;
     }
+
+    int pass = 0, fail = 0, crash = 0, timeout = 0;
+    for (const auto& [id, rec] : latest) {
+        switch (rec.status) {
+          case RunStatus::Pass: ++pass; break;
+          case RunStatus::Fail: ++fail; break;
+          case RunStatus::Crash: ++crash; break;
+          case RunStatus::Timeout: ++timeout; break;
+        }
+    }
+    if (pass == 0) {
+        // Every attempt failed: reporting the (empty) measurement set
+        // would read as a healthy-but-boring campaign. Say so and let
+        // scripts catch it.
+        char diag[256];
+        std::snprintf(diag, sizeof(diag),
+                      "%s: no passing records (%zu record(s): %d fail, "
+                      "%d crash, %d timeout)\n",
+                      dir.c_str(), latest.size(), fail, crash, timeout);
+        os << diag;
+        return 1;
+    }
     if (format == ReportFormat::Json) {
         reportJson(latest, os);
         return 0;
@@ -155,16 +193,6 @@ reportCampaign(const std::string& dir, std::ostream& os,
     std::size_t width = 8;
     for (const auto& [id, rec] : latest)
         width = std::max(width, id.size());
-
-    int pass = 0, fail = 0, crash = 0, timeout = 0;
-    for (const auto& [id, rec] : latest) {
-        switch (rec.status) {
-          case RunStatus::Pass: ++pass; break;
-          case RunStatus::Fail: ++fail; break;
-          case RunStatus::Crash: ++crash; break;
-          case RunStatus::Timeout: ++timeout; break;
-        }
-    }
 
     char line[256];
     std::snprintf(line, sizeof(line),
@@ -180,6 +208,10 @@ reportCampaign(const std::string& dir, std::ostream& os,
                   "scenario", "status", "total(M)");
     os << line;
     for (const char* h : kShortCategory) {
+        std::snprintf(line, sizeof(line), " %8s", h);
+        os << line;
+    }
+    for (const char* h : {"wall(s)", "user(s)", "sys(s)", "rss(MB)"}) {
         std::snprintf(line, sizeof(line), " %8s", h);
         os << line;
     }
@@ -202,6 +234,10 @@ reportCampaign(const std::string& dir, std::ostream& os,
             std::snprintf(line, sizeof(line), " %8.2f", v / 1e6);
             os << line;
         }
+        std::snprintf(line, sizeof(line), " %8.2f %8.2f %8.2f %8.1f",
+                      rec.wallSec, rec.userSec, rec.sysSec,
+                      rec.maxRssKb / 1024.0);
+        os << line;
         os << '\n';
     }
     return 0;

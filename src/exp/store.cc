@@ -137,6 +137,16 @@ RunRecord::toJsonLine() const
         for (const auto& [k, v] : counts)
             w.kv(k, v);
         w.endObject();
+        w.kv("wall_sec", wallSec);
+        w.kv("user_sec", userSec);
+        w.kv("sys_sec", sysSec);
+        w.kv("max_rss_kb", maxRssKb);
+        if (!hostPhases.empty()) {
+            w.key("host_phases").beginObject();
+            for (const auto& [k, v] : hostPhases)
+                w.kv(k, v);
+            w.endObject();
+        }
         w.kv("metrics", metricsPath);
         w.kv("shape_violations", shapeViolations);
         w.kv("error", error);
@@ -191,6 +201,14 @@ RunRecord::fromJsonLine(const std::string& line)
         for (const auto& [k, v] : ct->object)
             r.counts.emplace_back(k, v.number);
     }
+    r.wallSec = numberOr(doc, "wall_sec", 0);
+    r.userSec = numberOr(doc, "user_sec", 0);
+    r.sysSec = numberOr(doc, "sys_sec", 0);
+    r.maxRssKb = numberOr(doc, "max_rss_kb", 0);
+    if (const audit::JsonValue* hp = doc.find("host_phases")) {
+        for (const auto& [k, v] : hp->object)
+            r.hostPhases.emplace_back(k, v.number);
+    }
     r.metricsPath = stringOr(doc, "metrics", "");
     r.shapeViolations =
         static_cast<int>(numberOr(doc, "shape_violations", 0));
@@ -211,6 +229,7 @@ Store::create() const
     makeDir(dir_);
     makeDir(dir_ + "/logs");
     makeDir(dir_ + "/metrics");
+    makeDir(dir_ + "/hostprof");
     makeDir(dir_ + "/tmp");
 }
 

@@ -10,13 +10,18 @@
  *   <dir>/results.jsonl   one JSON record per finished run attempt
  *   <dir>/logs/<id>.log   child stdout+stderr, one file per scenario
  *   <dir>/metrics/<id>.json  full wwtcmp.metrics/2 manifest per run
+ *   <dir>/hostprof/<id>.json  wwtcmp.hostprof/1 host-time profile
+ *                         (only when the campaign ran --host-prof)
  *   <dir>/tmp/            child-written records before validation
  *
  * Records (schema "wwtcmp.campaign-record/1") carry the scenario id,
  * the scenario's config hash, the scenario's config key/value pairs
  * (an additive field — readers of older stores simply see it empty),
  * the pass/fail/crash/timeout status, the per-category cycle
- * breakdown and event counts, and the path of the metrics manifest.
+ * breakdown and event counts, the path of the metrics manifest, and
+ * host-side resource use (wall/user/sys seconds and peak RSS, plus a
+ * host-phase breakdown when --host-prof was on) — all additive keys;
+ * readers of older stores see zeros/empty.
  * Only the parent process appends to results.jsonl (children write to
  * tmp/ and the parent validates before adopting), so the file needs
  * no locking. The *last* record per scenario id wins: a resumed
@@ -73,6 +78,17 @@ struct RunRecord {
     std::string metricsPath; ///< relative to the campaign dir; may be ""
     int shapeViolations = 0;
     std::string error; ///< diagnostic for fail/crash/timeout
+    // Host-side resource use (additive keys; zero in old stores).
+    // These are top-level record fields, NOT entries of `cycles` or
+    // `counts`: the diff verb compares those maps key-by-key against
+    // simulated baselines, and host timings legitimately differ
+    // between byte-identical runs.
+    double wallSec = 0;  ///< steady-clock wall time of the run
+    double userSec = 0;  ///< getrusage user CPU seconds
+    double sysSec = 0;   ///< getrusage system CPU seconds
+    double maxRssKb = 0; ///< getrusage peak resident set, KB
+    /** Host-profiler seconds per phase (empty unless --host-prof). */
+    std::vector<std::pair<std::string, double>> hostPhases;
 
     /** Serialize as one compact JSON line (no trailing newline). */
     std::string toJsonLine() const;
@@ -131,6 +147,10 @@ class Store
     std::string tmpRecordPath(const std::string& id) const
     {
         return dir_ + "/tmp/" + id + ".json";
+    }
+    std::string hostprofPath(const std::string& id) const
+    {
+        return dir_ + "/hostprof/" + id + ".json";
     }
 
   private:

@@ -15,6 +15,7 @@
 #include "core/config.hh"
 #include "mem/address_map.hh"
 #include "mem/allocator.hh"
+#include "prof/hostprof.hh"
 #include "mem/backing_store.hh"
 #include "mem/cache.hh"
 #include "mem/fast_hit.hh"
@@ -107,6 +108,10 @@ class MpMemory
             line->dirty |= write;
             return;
         }
+        // Host-profiler: only the miss path is charged to Mem; the
+        // hit path above stays uninstrumented (it is the <2%-overhead
+        // budget and dominates dynamic accesses).
+        prof::SampledPhase hp(prof::Phase::Mem);
         counts.privMisses++;
         mem::Victim v;
         line = cache_.insert(block, mem::LineState::Exclusive, write, &v);

@@ -52,6 +52,9 @@ NetIface::send(NodeId dest, std::uint32_t tag,
 void
 NetIface::enqueue(const Packet& pkt)
 {
+    // Event-context delivery: the delivery event itself is tagged
+    // Net at its Network::deliver schedule site, so the drain loop
+    // attributes this handler's time — no timer scope needed here.
     enqueuedPkts_++;
     inq_.push_back(pkt);
     if (waiting_) {

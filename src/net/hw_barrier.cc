@@ -47,10 +47,13 @@ HwBarrier::arrive(sim::Processor& p, Cycle arrival)
                         trace::InstantKind::BarrierRelease, release,
                         static_cast<std::uint32_t>(episodes_));
         }
-        engine_.schedule(release, [group = std::move(group), release] {
-            for (sim::Processor* w : group)
-                w->resume(release);
-        });
+        engine_.schedule(
+            release,
+            [group = std::move(group), release] {
+                for (sim::Processor* w : group)
+                    w->resume(release);
+            },
+            prof::Phase::Net);
     }
 }
 

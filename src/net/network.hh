@@ -87,7 +87,7 @@ class Network
     {
         if (gap_ == 0 || from == to) {
             Cycle at = now + latency(from, to);
-            engine_.schedule(at, std::move(fn));
+            engine_.schedule(at, std::move(fn), prof::Phase::Net);
             return at;
         }
         if (engine_.deferring()) {
@@ -101,7 +101,7 @@ class Network
         lastInject_[from] = depart;
         Cycle at = std::max(depart + latency_, lastArrive_[to] + gap_);
         lastArrive_[to] = at;
-        engine_.schedule(at, std::move(fn));
+        engine_.schedule(at, std::move(fn), prof::Phase::Net);
         return at;
     }
 

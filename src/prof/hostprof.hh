@@ -1,0 +1,405 @@
+#pragma once
+
+/**
+ * @file
+ * Host-time profiler: where does *host* wall time go while the
+ * simulator decomposes *simulated* time?
+ *
+ * The paper's method is a breakdown of execution time into named,
+ * non-overlapping categories that sum to the total. This module
+ * applies the same discipline to the simulator's own host threads:
+ *
+ *  - Every registered host thread owns a thread-local shard with one
+ *    tick accumulator per phase, a current phase, and the tick of the
+ *    last phase transition. A transition reads the tick source once,
+ *    charges `now - last` to the outgoing phase, and switches. Phases
+ *    are therefore *structurally* non-overlapping, and the per-thread
+ *    accumulators sum exactly to the thread's measured window —
+ *    anything not inside a named scope lands in Phase::Untracked,
+ *    which is what the coverage self-audit reports on.
+ *
+ *  - Two scope granularities. The coarse phases (event drain, fiber
+ *    execution, rendezvous, tracing, audits) transition at loop
+ *    boundaries — a few per simulated quantum — and are measured
+ *    exactly. The hot phases (memory-model miss handling, protocol
+ *    handlers, network delivery) fire millions of times per second of
+ *    host time; reading the TSC on every one would *be* the overhead
+ *    budget. Those use SampledPhase: a per-shard duty counter lets
+ *    every Nth entry measure exactly while the rest stay in the
+ *    enclosing coarse phase, and the report scales the measured time
+ *    by N, carving the estimate out of the statically-known parent
+ *    phase (mem ⊂ fiber, protocol/net ⊂ event_drain). Every tick is
+ *    still counted exactly once, so non-overlap and sum-to-wall stay
+ *    exact; only the *split* between a sampled phase and its parent
+ *    is an estimate, and the manifest says so per phase.
+ *
+ *  - Shards are merged at report time under a registry mutex with
+ *    plain integer sums, so the merged totals are independent of
+ *    thread scheduling (the tick *values* are host-dependent, the
+ *    merge order is not) — the same policy the tracer uses for its
+ *    histogram merge.
+ *
+ *  - The tick source is the TSC on x86-64 (one `rdtsc` per phase
+ *    transition; no serialization, which is fine at >100ns phase
+ *    granularity) with a steady_clock fallback elsewhere, calibrated
+ *    against steady_clock over the enable..report window.
+ *
+ * The profiler is disabled by default and compiled so the disabled
+ * path is one relaxed atomic load per would-be scope. The hard
+ * contract (CI-enforced): enabling it never changes simulated
+ * results — instrumentation must not touch engine state, only read
+ * the clock.
+ *
+ * All runtime output (coverage line, "written to" notes) goes to
+ * stderr: stdout byte-identity with the profiler on vs off is part of
+ * the contract.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#else
+#include <chrono>
+#endif
+
+namespace wwt::prof
+{
+
+/**
+ * Host-time phases. Exactly one is active per registered thread at
+ * any instant. Untracked absorbs everything outside a named scope;
+ * docs/performance.md documents what each named phase covers and —
+ * just as important — what it does not.
+ */
+enum class Phase : std::uint8_t {
+    Untracked = 0, ///< no named scope active (self-audit target)
+    EventDrain,    ///< event-queue drain + parallel merge pass
+    Fiber,         ///< fiber quantum execution (direct execution)
+    Mem,           ///< MP/SM memory-model miss and fault handling
+    Protocol,      ///< coherence-protocol event handlers
+    Net,           ///< network delivery into node interfaces
+    Trace,         ///< flight-recorder snapshot + artifact writing
+    Audit,         ///< invariant audits + report collection
+    Rendezvous,    ///< parallel-host barrier waits (both sides)
+};
+
+inline constexpr std::size_t kNumPhases = 9;
+
+/** snake_case phase name, as used in manifests and records. */
+const char* phaseName(Phase p);
+
+/** Coverage floor for the self-audit: named phases must reach 95%. */
+inline constexpr double kCoverageFloor = 0.95;
+
+/**
+ * Default duty period for SampledPhase: one exact measurement per
+ * this many scope entries. setSamplePeriod(1) makes every entry
+ * exact (tests; small runs where overhead is irrelevant).
+ */
+inline constexpr std::uint32_t kDefaultSamplePeriod = 64;
+
+namespace detail
+{
+
+extern std::atomic<bool> g_enabled;
+extern std::uint32_t g_samplePeriod;
+extern std::uint64_t (*g_tickOverride)(); ///< tests only; null = real
+
+/** Read the tick source. Inline so a phase transition is a branch
+ *  plus one rdtsc, not a call through the registry. */
+inline std::uint64_t
+tickNow()
+{
+#if defined(__x86_64__)
+    auto* f = g_tickOverride;
+    return f ? f() : __rdtsc();
+#else
+    auto* f = g_tickOverride;
+    if (f)
+        return f();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+#endif
+}
+
+/**
+ * Per-thread accumulator. `acc` sums to exactly `last - start` after
+ * every flush, so per-thread coverage is well-defined by
+ * construction. Shards are heap-allocated, owned by the registry,
+ * and deliberately leaked: the atexit manifest writer must be able
+ * to read them after static destructors start running.
+ */
+struct Shard {
+    std::uint64_t acc[kNumPhases] = {};
+    std::uint64_t sampled[kNumPhases] = {}; ///< measured entries
+    std::uint32_t duty[kNumPhases] = {};    ///< countdown to sample
+    std::uint64_t start = 0;
+    std::uint64_t last = 0;
+    Phase cur = Phase::Untracked;
+};
+
+extern thread_local Shard* tls_shard;
+
+/** Out-of-line slow path of a sampled entry: exact transition. */
+Phase sampleBegin(Phase p);
+
+} // namespace detail
+
+/** Is the profiler accounting right now? One relaxed load. */
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/** The calling thread's current phase (Untracked if unregistered). */
+inline Phase
+currentPhase()
+{
+    const detail::Shard* sh = detail::tls_shard;
+    return sh ? sh->cur : Phase::Untracked;
+}
+
+/**
+ * Start accounting. Registers the calling thread. Threads spawned
+ * while enabled register themselves via ThreadGuard; threads that
+ * never register simply contribute nothing (the coverage audit is
+ * per-registered-thread, not per-process). Idempotent.
+ */
+void enable();
+
+/**
+ * enable(), plus an atexit hook that writes the wwtcmp.hostprof/1
+ * manifest to @p path and prints the coverage self-audit line to
+ * stderr when the process exits. This is how bench drivers and
+ * run_app honor --host-prof without restructuring their exit paths.
+ */
+void enableWithManifestAtExit(const std::string& path);
+
+/** Stop accounting (scopes become no-ops). Accumulators survive. */
+void disable();
+
+/**
+ * Set the SampledPhase duty period (1 = exact, default 64). Applies
+ * to shards registered afterwards; call before enable().
+ */
+void setSamplePeriod(std::uint32_t period);
+
+/**
+ * Register the calling thread with the profiler (no-op when disabled
+ * or already registered). Engine pool workers call this on entry.
+ */
+void registerThread();
+
+/**
+ * Flush and retire the calling thread's shard. Its totals stay in
+ * the registry; the thread may re-register later (new shard).
+ */
+void finalizeThread();
+
+/** RAII register/finalize for worker threads. */
+struct ThreadGuard {
+    ThreadGuard() { registerThread(); }
+    ~ThreadGuard() { finalizeThread(); }
+    ThreadGuard(const ThreadGuard&) = delete;
+    ThreadGuard& operator=(const ThreadGuard&) = delete;
+};
+
+/** The configured SampledPhase duty period. */
+inline std::uint32_t
+samplePeriod()
+{
+    return detail::g_samplePeriod;
+}
+
+/**
+ * Charge elapsed ticks to the current phase and switch to @p next.
+ * Returns the previous phase. No-op (returns Untracked) when the
+ * profiler is off or the thread is unregistered.
+ *
+ * This is the primitive the fiber scheduler uses to carry a logical
+ * phase across fiber switches: the engine saves the processor's
+ * phase on yield and restores it on resume, so a scope opened inside
+ * a fiber never bleeds into engine-side time.
+ */
+inline Phase
+exchangePhase(Phase next)
+{
+    if (!enabled())
+        return Phase::Untracked;
+    detail::Shard* sh = detail::tls_shard;
+    if (sh == nullptr)
+        return Phase::Untracked;
+    std::uint64_t now = detail::tickNow();
+    if (now > sh->last)
+        sh->acc[static_cast<std::size_t>(sh->cur)] += now - sh->last;
+    sh->last = now;
+    Phase prev = sh->cur;
+    sh->cur = next;
+    return prev;
+}
+
+/** RAII phase scope, measured exactly. For the coarse phases: a few
+ *  transitions per quantum, never on a per-event path. */
+class ScopedPhase
+{
+  public:
+    explicit ScopedPhase(Phase p)
+    {
+        if (enabled()) {
+            prev_ = exchangePhase(p);
+            armed_ = true;
+        }
+    }
+    ~ScopedPhase()
+    {
+        if (armed_)
+            exchangePhase(prev_);
+    }
+    ScopedPhase(const ScopedPhase&) = delete;
+    ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+  private:
+    Phase prev_ = Phase::Untracked;
+    bool armed_ = false;
+};
+
+/**
+ * RAII phase scope for per-event hot paths (mem/protocol/net).
+ * Every Nth entry (per phase, per thread) measures exactly; the
+ * others cost one decrement and leave the time in the enclosing
+ * phase, which the report corrects by the duty period. See the file
+ * comment for why the split — not the sum — is the estimate.
+ */
+class SampledPhase
+{
+  public:
+    explicit SampledPhase(Phase p)
+    {
+        if (!enabled())
+            return;
+        detail::Shard* sh = detail::tls_shard;
+        if (sh == nullptr)
+            return;
+        if (--sh->duty[static_cast<std::size_t>(p)] != 0)
+            return;
+        prev_ = detail::sampleBegin(p);
+        armed_ = true;
+    }
+    ~SampledPhase()
+    {
+        if (armed_)
+            exchangePhase(prev_);
+    }
+    SampledPhase(const SampledPhase&) = delete;
+    SampledPhase& operator=(const SampledPhase&) = delete;
+
+  private:
+    Phase prev_ = Phase::Untracked;
+    bool armed_ = false;
+};
+
+/**
+ * RAII scope that always measures and counts as a sampled entry.
+ * For callers that run their own duty counter over a population of
+ * work items — the event drain samples every Nth *event* and opens
+ * one of these with the event's phase tag, so per-event hot phases
+ * cost one counter decrement at a single site instead of a scope in
+ * every handler. Scaling at report time is identical to
+ * SampledPhase's.
+ */
+class ForcedSamplePhase
+{
+  public:
+    explicit ForcedSamplePhase(Phase p)
+    {
+        if (!enabled() || detail::tls_shard == nullptr)
+            return;
+        prev_ = detail::sampleBegin(p);
+        armed_ = true;
+    }
+    ~ForcedSamplePhase()
+    {
+        if (armed_)
+            exchangePhase(prev_);
+    }
+    ForcedSamplePhase(const ForcedSamplePhase&) = delete;
+    ForcedSamplePhase& operator=(const ForcedSamplePhase&) = delete;
+
+  private:
+    Phase prev_ = Phase::Untracked;
+    bool armed_ = false;
+};
+
+/** Merged totals for one phase. */
+struct PhaseTotal {
+    std::uint64_t ticks = 0;
+    double sec = 0.0;
+    bool estimated = false; ///< scaled from a sampled measurement
+};
+
+/** Deterministic merge of all shards, live and retired. */
+struct Report {
+    double wallSec = 0.0;   ///< steady-clock time since enable()
+    double threadSec = 0.0; ///< sum of per-thread measured windows
+    std::uint64_t totalTicks = 0;
+    std::uint64_t namedTicks = 0; ///< totalTicks minus Untracked
+    double coverage = 0.0;        ///< namedTicks / totalTicks
+    std::size_t threads = 0;      ///< shards merged
+    std::uint32_t samplePeriod = 1;
+    PhaseTotal phase[kNumPhases];
+
+    bool
+    coverageOk() const
+    {
+        return coverage >= kCoverageFloor;
+    }
+};
+
+/**
+ * Flush the calling thread's shard and merge every shard. Safe to
+ * call only when no *other* registered thread is mid-phase (engine
+ * workers finalize before the pool joins, so after Engine::run()
+ * returns this holds by construction).
+ */
+Report snapshot();
+
+/** The one-line coverage self-audit printed with every manifest. */
+std::string coverageLine(const Report& r);
+
+/** Write the wwtcmp.hostprof/1 manifest for @p r. */
+void writeManifest(std::ostream& os, const Report& r);
+
+/**
+ * snapshot() + manifest to @p path + coverage line to stderr.
+ * @return false (with a stderr note) when the file cannot be written.
+ */
+bool writeManifestFile(const std::string& path);
+
+/** Drop all shards and disable. Test-only: callers must ensure no
+ *  other thread still holds a shard pointer. */
+void resetForTest();
+
+/**
+ * Replace the tick source (nullptr restores the real clock) and drop
+ * all shards. Lets tests assert exact tick arithmetic.
+ */
+void setTickSourceForTest(std::uint64_t (*fn)());
+
+/** Self-resource usage, for campaign records. */
+struct Rusage {
+    double userSec = 0.0;
+    double sysSec = 0.0;
+    long maxRssKb = 0;
+};
+
+/** getrusage(RUSAGE_SELF) at the call point. */
+Rusage selfRusage();
+
+} // namespace wwt::prof

@@ -1,6 +1,7 @@
 #include "sim/engine.hh"
 
 #include "audit/check.hh"
+#include "prof/hostprof.hh"
 
 #include <barrier>
 #include <sstream>
@@ -93,6 +94,10 @@ class Engine::Pool
     void
     round()
     {
+        // The engine thread spends the whole round blocked on the two
+        // barriers: that wait *is* the rendezvous cost the host
+        // profiler reports.
+        prof::ScopedPhase rz(prof::Phase::Rendezvous);
         start_.arrive_and_wait();
         done_.arrive_and_wait();
     }
@@ -100,11 +105,16 @@ class Engine::Pool
     void
     workerLoop(std::size_t w)
     {
+        prof::ThreadGuard prof_guard;
         for (;;) {
-            start_.arrive_and_wait();
+            {
+                prof::ScopedPhase rz(prof::Phase::Rendezvous);
+                start_.arrive_and_wait();
+            }
             if (job_ == Job::Stop)
                 return;
             if (job_ == Job::Quantum) {
+                prof::ScopedPhase fib(prof::Phase::Fiber);
                 tls_parallel_phase = true;
                 for (std::size_t i = w; i < eng_.procs_.size(); i += n_) {
                     Processor& p = *eng_.procs_[i];
@@ -113,9 +123,13 @@ class Engine::Pool
                 }
                 tls_parallel_phase = false;
             } else if (one_->id() % n_ == w) {
+                prof::ScopedPhase fib(prof::Phase::Fiber);
                 eng_.runProcSlice(*one_, qend_);
             }
-            done_.arrive_and_wait();
+            {
+                prof::ScopedPhase rz(prof::Phase::Rendezvous);
+                done_.arrive_and_wait();
+            }
         }
     }
 
@@ -154,14 +168,14 @@ Engine::setHostThreads(std::size_t n)
 }
 
 void
-Engine::schedule(Cycle t, EventQueue::Callback cb)
+Engine::schedule(Cycle t, EventQueue::Callback cb, prof::Phase tag)
 {
     if (hostThreads_ > 1 && tls_current_proc) {
         tls_current_proc->deferred_.push_back(
-            Processor::DeferredOp{t, std::move(cb), true});
+            Processor::DeferredOp{t, std::move(cb), true, tag});
         return;
     }
-    events_.schedule(t, std::move(cb));
+    events_.schedule(t, std::move(cb), tag);
 }
 
 void
@@ -245,8 +259,36 @@ void
 Engine::runProcSlice(Processor& p, Cycle quantum_end)
 {
     tls_current_proc = &p;
-    p.runUntil(quantum_end);
+    runUntilPhased(p, quantum_end);
     tls_current_proc = nullptr;
+}
+
+void
+Engine::runUntilPhased(Processor& p, Cycle quantum_end)
+{
+    constexpr prof::Phase Phase_Fiber = prof::Phase::Fiber;
+    if (!prof::enabled()) {
+        p.runUntil(quantum_end);
+        return;
+    }
+    // Swap in the phase the fiber was last running under; on return
+    // (any yield) save where the fiber got to, so a scope opened
+    // inside the fiber resumes correctly on the next slice — even on
+    // another host thread.
+    //
+    // Both callers run slices under an enclosing Fiber scope, and a
+    // fiber's phase is Fiber unless it yielded mid-scope (rare with
+    // duty-sampled memory scopes), so the common case is "nothing to
+    // swap": skip the clock reads entirely unless the saved phase
+    // differs from Fiber. At ~one slice per processor per quantum
+    // this elision, not the scope granularity, is what keeps engine
+    // overhead within budget.
+    if (p.hostPhase_ != Phase_Fiber)
+        prof::exchangePhase(p.hostPhase_);
+    p.runUntil(quantum_end);
+    p.hostPhase_ = prof::currentPhase();
+    if (p.hostPhase_ != Phase_Fiber)
+        prof::exchangePhase(Phase_Fiber);
 }
 
 void
@@ -295,7 +337,10 @@ Engine::run()
         runParallel();
     else
         runSequential();
-    runAudits();
+    {
+        prof::ScopedPhase au(prof::Phase::Audit);
+        runAudits();
+    }
 }
 
 void
@@ -314,8 +359,17 @@ Engine::runSequential()
         if (s != Processor::State::Idle && s != Processor::State::Finished)
             ++live;
     }
+    // Two phase transitions per quantum, not per scope: the quantum
+    // body alternates EventDrain (queue drain + its trace instant)
+    // and Fiber (processor slices plus the quantum-boundary audit
+    // scan, which is fiber bookkeeping). runUntilPhased sees the
+    // enclosing Fiber phase and elides its own swaps in the common
+    // case, so this pair of clock reads is the whole per-quantum
+    // profiling cost on the sequential path.
+    prof::Phase outer0 = prof::currentPhase();
     while (live != 0) {
         Cycle qend = quantumStart_ + quantum_;
+        prof::exchangePhase(prof::Phase::EventDrain);
         std::size_t nev = events_.runUntil(qend);
         if (tracer_ && nev != 0) {
             tracer_->instant(tracer_->engineTrack(),
@@ -323,11 +377,12 @@ Engine::runSequential()
                              quantumStart_,
                              static_cast<std::uint32_t>(nev));
         }
+        prof::exchangePhase(prof::Phase::Fiber);
 
         bool ran = false;
         for (auto& p : procs_) {
             if (p->ready() && p->now() < qend) {
-                p->runUntil(qend);
+                runUntilPhased(*p, qend);
                 ran = true;
                 if (p->state() == Processor::State::Finished)
                     --live;
@@ -351,6 +406,7 @@ Engine::runSequential()
         if (live != 0)
             idleSkipOrDeadlock();
     }
+    prof::exchangePhase(outer0);
 }
 
 void
@@ -367,7 +423,11 @@ Engine::runParallel()
         // this window — protocol services, packet deliveries, barrier
         // releases. All cross-processor state mutates here or in the
         // merge below, never concurrently with fibers.
-        std::size_t nev = events_.runUntil(qend);
+        std::size_t nev;
+        {
+            prof::ScopedPhase ev(prof::Phase::EventDrain);
+            nev = events_.runUntil(qend);
+        }
         if (tracer_ && nev != 0) {
             tracer_->instant(tracer_->engineTrack(),
                              trace::InstantKind::QuantumEvents,
@@ -427,13 +487,20 @@ Engine::runParallel()
             // operations in (processor id, program order) — the
             // calendar insertion order of a sequential run, so event
             // sequence numbers (and thus same-timestamp tie-breaking)
-            // are bit-identical.
+            // are bit-identical. Host-profiler-wise this is event
+            // work: calendar inserts plus immediate handlers, charged
+            // to EventDrain like the drain loop they were deferred
+            // from; deferred schedules keep their phase tag, so the
+            // events themselves still attribute to Protocol/Net when
+            // the drain loop samples them.
+            prof::ScopedPhase ev(prof::Phase::EventDrain);
             for (auto& p : procs_) {
                 if (p->deferred_.empty())
                     continue;
                 for (auto& op : p->deferred_) {
                     if (op.isSchedule)
-                        events_.schedule(op.at, std::move(op.fn));
+                        events_.schedule(op.at, std::move(op.fn),
+                                         op.tag);
                     else
                         op.fn();
                 }

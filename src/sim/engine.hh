@@ -73,8 +73,11 @@ class Engine
      * from a fiber under the parallel host, the insertion is deferred
      * to the quantum rendezvous (in deterministic merge order); from
      * event/host context, or sequentially, it takes effect at once.
+     * @p tag names the host-profiler phase the event runs under (see
+     * EventQueue::schedule).
      */
-    void schedule(Cycle t, EventQueue::Callback cb);
+    void schedule(Cycle t, EventQueue::Callback cb,
+                  prof::Phase tag = prof::Phase::EventDrain);
 
     /**
      * Run @p fn against shared engine-side state. Sequentially, and
@@ -152,6 +155,12 @@ class Engine
     void runParallel();
     /** Run @p p's fiber with the current-processor TLS installed. */
     void runProcSlice(Processor& p, Cycle quantum_end);
+    /**
+     * p.runUntil under the fiber's saved host-profiler phase: the
+     * engine-side phase is parked across the slice and the fiber's
+     * phase survives yields (see Processor::hostPhase_).
+     */
+    static void runUntilPhased(Processor& p, Cycle quantum_end);
     /**
      * Shared idle-window handling: fast-forward quantumStart_ to the
      * next interesting time, or throw the deadlock diagnostic.

@@ -18,13 +18,16 @@ EventQueue::acquireSlot(Callback&& cb)
         return slot;
     }
     pool_.push_back(std::move(cb));
+    tags_.push_back(
+        static_cast<std::uint8_t>(prof::Phase::EventDrain));
     return static_cast<std::uint32_t>(pool_.size() - 1);
 }
 
 void
-EventQueue::schedule(Cycle t, Callback&& cb)
+EventQueue::schedule(Cycle t, Callback&& cb, prof::Phase tag)
 {
     std::uint32_t slot = acquireSlot(std::move(cb));
+    tags_[slot] = static_cast<std::uint8_t>(tag);
     WWT_AUDIT(slot <= kSlotMask && seq_ >> (64 - kSlotBits) == 0,
               "event calendar exhausted its packed-handle range: slot "
                   << slot << " seq " << seq_);
@@ -112,7 +115,20 @@ EventQueue::runUntil(Cycle limit)
         Callback cb = std::move(pool_[top.slot()]);
         free_.push_back(top.slot());
         popHeap();
-        cb();
+        if (!prof::enabled() || --profDuty_ > 0) {
+            cb();
+        } else {
+            // Every samplePeriod-th event is measured exactly under
+            // its schedule-site tag; the rest stay in the enclosing
+            // EventDrain phase, which the report corrects by the duty
+            // period (see prof::snapshot). The tag read is safe here:
+            // the freed slot can only be recycled by a schedule made
+            // from inside cb itself.
+            profDuty_ = static_cast<int>(prof::samplePeriod());
+            prof::ForcedSamplePhase sp(
+                static_cast<prof::Phase>(tags_[top.slot()]));
+            cb();
+        }
         ++n;
         ++executed_;
     }

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "prof/hostprof.hh"
 #include "sim/small_fn.hh"
 #include "sim/types.hh"
 
@@ -30,8 +31,21 @@ class EventQueue
      */
     using Callback = EventFn;
 
-    /** Schedule @p cb to run at absolute time @p t. */
-    void schedule(Cycle t, Callback&& cb);
+    /**
+     * Schedule @p cb to run at absolute time @p t.
+     *
+     * @p tag names the host-profiler phase the event executes under
+     * (set at the schedule site, where the event's nature is known:
+     * protocol handlers tag Protocol, network delivery tags Net).
+     * Attribution happens in the drain loop, which duty-samples every
+     * Nth event and wraps only those in an exact phase scope — one
+     * counter decrement per event at a single site instead of a timer
+     * scope in every hot handler. The default EventDrain tag means
+     * "plain calendar work": sampling it re-labels time the drain
+     * already owns, so untagged callers cost nothing extra.
+     */
+    void schedule(Cycle t, Callback&& cb,
+                  prof::Phase tag = prof::Phase::EventDrain);
 
     bool empty() const { return heap_.empty(); }
 
@@ -101,8 +115,24 @@ class EventQueue
     std::vector<Item> heap_;
     std::vector<Callback> pool_;     ///< slot-addressed callback arena
     std::vector<std::uint32_t> free_; ///< recycled pool_ indices
+    /**
+     * Host-profiler phase tag per pool slot. Parallel to pool_ rather
+     * than inside Item: the heap sifts 16-byte handles (see above),
+     * and the tag is only read once per event, at execution — never
+     * during a sift. Read before the callback runs: the slot is
+     * released first, but it can only be recycled by a schedule from
+     * inside the callback itself.
+     */
+    std::vector<std::uint8_t> tags_;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;
+    /**
+     * Countdown to the next profiled event. An int (not unsigned) so
+     * the pre-enable value underflows harmlessly; re-armed from
+     * prof::samplePeriod() whenever it reaches zero with the profiler
+     * enabled.
+     */
+    int profDuty_ = 0;
 };
 
 } // namespace wwt::sim

@@ -23,6 +23,7 @@
 #include <functional>
 #include <vector>
 
+#include "prof/hostprof.hh"
 #include "sim/fiber.hh"
 #include "sim/small_fn.hh"
 #include "sim/types.hh"
@@ -237,6 +238,14 @@ class Processor
     /** Paused at a serial point; awaiting the engine's serial pass. */
     bool serialPending_ = false;
     /**
+     * Host-profiler phase this fiber last ran under, saved and
+     * restored by the engine around each runUntil slice so a
+     * prof::ScopedPhase opened inside the fiber (memory-model miss
+     * handling, mostly) survives yields without bleeding fiber time
+     * into engine-side phases.
+     */
+    prof::Phase hostPhase_ = prof::Phase::Fiber;
+    /**
      * One cross-processor operation issued by this processor's fiber
      * during the current quantum: either a calendar schedule (executed
      * as events_.schedule(at, fn) at the rendezvous) or an immediate
@@ -249,6 +258,8 @@ class Processor
         Cycle at = 0;
         EventFn fn;
         bool isSchedule = false;
+        /** Host-profiler tag forwarded to the calendar insert. */
+        prof::Phase tag = prof::Phase::EventDrain;
     };
 
     /**

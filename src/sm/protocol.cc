@@ -1,6 +1,7 @@
 #include "sm/protocol.hh"
 
 #include "audit/check.hh"
+#include "prof/hostprof.hh"
 
 #include <stdexcept>
 
@@ -58,7 +59,7 @@ DirProtocol::miss(sim::Processor& req, Addr addr, bool write,
     }
     countMsg(r.req, home, false);
     Cycle at = req.now() + net_.latency(r.req, home);
-    engine_.schedule(at, [this, home, block, r, at] {
+    scheduleProto(at, [this, home, block, r, at] {
         service(home, block, r, at);
     });
     req.blockFor(kind);
@@ -93,7 +94,7 @@ DirProtocol::atomic(sim::Processor& req, Addr addr, bool had_copy,
     }
     countMsg(r.req, home, false);
     Cycle at = req.now() + net_.latency(r.req, home);
-    engine_.schedule(at, [this, home, block, r, at] {
+    scheduleProto(at, [this, home, block, r, at] {
         service(home, block, r, at);
     });
     req.blockFor(kind);
@@ -109,7 +110,7 @@ DirProtocol::evictWriteback(sim::Processor& req, Addr victim_block_addr)
     req.stats().counts().writeBacks++;
     countMsg(from, home, true);
     Cycle at = req.now() + net_.latency(from, home);
-    engine_.schedule(at, [this, home, block, from, at] {
+    scheduleProto(at, [this, home, block, from, at] {
         onWriteback(home, block, from, at);
     });
 }
@@ -122,7 +123,7 @@ DirProtocol::replacementHint(sim::Processor& req, Addr block_addr)
     NodeId from = req.id();
     countMsg(from, home, false);
     Cycle at = req.now() + net_.latency(from, home);
-    engine_.schedule(at, [this, home, block, from, at] {
+    scheduleProto(at, [this, home, block, from, at] {
         DirEntry& e = dir_[block];
         Cycle start = std::max(at, dirBusy_[home]);
         dirBusy_[home] = start + cfg_.dirBase;
@@ -155,7 +156,7 @@ DirProtocol::pushUpdate(sim::Processor& src, Addr addr,
     mem::Cache* dcache = caches_[dest];
     Cycle at = src.now() + net_.latency(src.id(), dest);
     NodeId from = src.id();
-    engine_.schedule(at, [this, dcache, first, nblocks, from, dest,
+    scheduleProto(at, [this, dcache, first, nblocks, from, dest,
                           at] {
         for (std::size_t i = 0; i < nblocks; ++i) {
             Addr bnum = first / kBlockBytes + i;
@@ -170,7 +171,7 @@ DirProtocol::pushUpdate(sim::Processor& src, Addr addr,
                 NodeId home = homeOf(vb);
                 countMsg(dest, home, true);
                 Cycle arr = at + net_.latency(dest, home);
-                engine_.schedule(arr, [this, home, vb, dest, arr] {
+                scheduleProto(arr, [this, home, vb, dest, arr] {
                     onWriteback(home, blockOf(vb), dest, arr);
                 });
             }
@@ -247,7 +248,7 @@ DirProtocol::service(NodeId home, Addr block, Req r, Cycle at)
             counts(home).invalsSent++;
             countMsg(home, s, false);
             Cycle arr = t + net_.latency(home, s);
-            engine_.schedule(arr, [this, s, block, home, arr] {
+            scheduleProto(arr, [this, s, block, home, arr] {
                 invalArrive(s, block, home, arr);
             });
         }
@@ -274,7 +275,7 @@ DirProtocol::service(NodeId home, Addr block, Req r, Cycle at)
         bool to_shared = !r.write;
         countMsg(home, owner, false);
         Cycle arr = t + net_.latency(home, owner);
-        engine_.schedule(arr, [this, owner, block, home, to_shared, arr] {
+        scheduleProto(arr, [this, owner, block, home, to_shared, arr] {
             fetchArrive(owner, block, home, to_shared, arr);
         });
         return;
@@ -301,7 +302,7 @@ DirProtocol::grant(NodeId home, Addr block, DirEntry& e, const Req& r,
     countMsg(home, r.req, with_data);
     Cycle at = done + net_.latency(home, r.req);
     Req rc = r;
-    engine_.schedule(at, [this, rc, at] { fill(rc, at); });
+    scheduleProto(at, [this, rc, at] { fill(rc, at); });
     // This transaction completed without a busy period, but requests
     // may have queued behind an earlier one; keep draining.
     drainQueue(home, block, e, pending_.find(block), done);
@@ -329,7 +330,7 @@ DirProtocol::fetchArrive(NodeId owner, Addr block, NodeId home,
     }
     countMsg(owner, home, true); // data travels home
     Cycle arr = at + cost + net_.latency(owner, home);
-    engine_.schedule(arr, [this, home, block, arr] {
+    scheduleProto(arr, [this, home, block, arr] {
         onFetchReply(home, block, arr);
     });
 }
@@ -361,7 +362,7 @@ DirProtocol::onFetchReply(NodeId home, Addr block, Cycle at)
     }
     countMsg(home, r.req, true);
     Cycle fill_at = done + net_.latency(home, r.req);
-    engine_.schedule(fill_at, [this, r, fill_at] { fill(r, fill_at); });
+    scheduleProto(fill_at, [this, r, fill_at] { fill(r, fill_at); });
     e.busy = false;
     drainQueue(home, block, e, p, done);
 }
@@ -376,7 +377,7 @@ DirProtocol::invalArrive(NodeId sharer, Addr block, NodeId home, Cycle at)
         cost += v.dirty ? cfg_.smReplSharedDirty : cfg_.smReplSharedClean;
     countMsg(sharer, home, false); // acknowledgement
     Cycle arr = at + cost + net_.latency(sharer, home);
-    engine_.schedule(arr, [this, home, block, arr] {
+    scheduleProto(arr, [this, home, block, arr] {
         onAck(home, block, arr);
     });
 }
@@ -408,7 +409,7 @@ DirProtocol::onAck(NodeId home, Addr block, Cycle at)
     e.sharers.set(r.req);
     countMsg(home, r.req, need_data);
     Cycle fill_at = done + net_.latency(home, r.req);
-    engine_.schedule(fill_at, [this, r, fill_at] { fill(r, fill_at); });
+    scheduleProto(fill_at, [this, r, fill_at] { fill(r, fill_at); });
     e.busy = false;
     drainQueue(home, block, e, p, done);
 }

@@ -253,6 +253,19 @@ class DirProtocol
     void drainQueue(NodeId home, Addr block, DirEntry& e, Pending* p,
                     Cycle at);
 
+    /**
+     * Schedule a protocol handler event. All calendar inserts from
+     * this class go through here so the event carries the Protocol
+     * host-profiler tag — attribution happens in the event drain
+     * loop (see EventQueue::schedule), not via a timer scope in each
+     * handler.
+     */
+    void
+    scheduleProto(Cycle at, sim::EventFn fn)
+    {
+        engine_.schedule(at, std::move(fn), prof::Phase::Protocol);
+    }
+
     sim::Engine& engine_;
     net::Network& net_;
     mem::SharedAllocator& shalloc_;

@@ -25,6 +25,7 @@ SmMemory::atomicOp(Addr a, AtomicKind k, std::uint64_t expect,
                 store_.write<std::uint64_t>(a, nv);
             return old;
         }
+        prof::SampledPhase hp(prof::Phase::Mem);
         counts.writeFaults++;
         line->state = mem::LineState::Exclusive;
         line->dirty = true;
@@ -33,6 +34,7 @@ SmMemory::atomicOp(Addr a, AtomicKind k, std::uint64_t expect,
                              sim::CostKind::WriteFault);
     }
 
+    prof::SampledPhase hp(prof::Phase::Mem);
     if (proto_.homeOf(a) == p_.id())
         counts.sharedMissLocal++;
     else
@@ -60,6 +62,7 @@ SmMemory::sharedWrite(Addr a, std::uint64_t bits, unsigned width)
             line->dirty = true;
             return true; // caller stores immediately
         }
+        prof::SampledPhase hp(prof::Phase::Mem);
         counts.writeFaults++;
         line->state = mem::LineState::Exclusive;
         line->dirty = true;
@@ -69,6 +72,7 @@ SmMemory::sharedWrite(Addr a, std::uint64_t bits, unsigned width)
         return false;
     }
 
+    prof::SampledPhase hp(prof::Phase::Mem);
     if (proto_.homeOf(a) == p_.id())
         counts.sharedMissLocal++;
     else

@@ -17,6 +17,7 @@
 
 #include "core/config.hh"
 #include "mem/address_map.hh"
+#include "prof/hostprof.hh"
 #include "mem/backing_store.hh"
 #include "mem/cache.hh"
 #include "mem/fast_hit.hh"
@@ -226,6 +227,10 @@ class SmMemory
             line->dirty |= write;
             return;
         }
+        // Host-profiler: the hit path above is deliberately left
+        // uninstrumented (it is the <2%-overhead budget); only miss
+        // handling is charged to Mem.
+        prof::SampledPhase hp(prof::Phase::Mem);
         counts.privMisses++;
         mem::Victim v;
         line = cache_.insert(bnum, mem::LineState::Exclusive, write, &v);
@@ -249,6 +254,7 @@ class SmMemory
                 return;
             }
             // Write fault: upgrade the read-only copy.
+            prof::SampledPhase hp(prof::Phase::Mem);
             counts.writeFaults++;
             line->state = mem::LineState::Exclusive;
             line->dirty = true;
@@ -256,6 +262,7 @@ class SmMemory
             proto_.miss(p_, a, true, true, sim::CostKind::WriteFault);
             return;
         }
+        prof::SampledPhase hp(prof::Phase::Mem);
         if (proto_.homeOf(a) == p_.id())
             counts.sharedMissLocal++;
         else

@@ -11,9 +11,15 @@ file, so the repo itself carries the performance history.
 Verbs:
 
   emit    parse a google-benchmark JSON file into one record
+          (--hostprof folds a wwtcmp.hostprof/1 manifest in as a
+          host_phases breakdown)
   append  add a record to the trajectory file (newest last)
   check   compare a fresh record against the most recent trajectory
-          record with the same host key and fail on regression
+          record with the same host key and fail on regression; when
+          both records carry host_phases, a tripped gate also prints
+          which host phase absorbed the regression
+  explain attribute the wall-time delta between two record files to
+          host phases (no gating, just the breakdown)
 
 A regression is a tracked benchmark whose ns/op grew by more than
 --threshold (default 0.15 = 15%) over the baseline. Comparing times
@@ -96,6 +102,55 @@ def extract_results(bench_json_path):
     return results
 
 
+def read_hostprof(path):
+    """Phase name -> seconds from a wwtcmp.hostprof/1 manifest."""
+    m = load_json(path, "hostprof manifest")
+    if m.get("schema") != "wwtcmp.hostprof/1":
+        fail(f"{path!r} is not a wwtcmp.hostprof/1 manifest "
+             f"(schema {m.get('schema')!r})")
+    return {p["name"]: round(float(p["sec"]), 6)
+            for p in m.get("phases", [])}
+
+
+def host_phase_deltas(base, cand):
+    """Per-phase (name, base_sec, cand_sec, delta_sec) rows, largest
+    growth first. Empty unless both records carry host_phases."""
+    bp = base.get("host_phases")
+    cp = cand.get("host_phases")
+    if not isinstance(bp, dict) or not isinstance(cp, dict):
+        return []
+    rows = []
+    for name in sorted(set(bp) | set(cp)):
+        b = float(bp.get(name, 0.0))
+        c = float(cp.get(name, 0.0))
+        rows.append((name, b, c, c - b))
+    rows.sort(key=lambda r: (-r[3], r[0]))
+    return rows
+
+
+def explain_lines(base, cand):
+    """Human-readable host-phase attribution between two records.
+
+    Pure function of the two record dicts so the explanation is unit
+    testable without touching the filesystem."""
+    rows = host_phase_deltas(base, cand)
+    if not rows:
+        return ["no host-phase data on both records "
+                "(re-run the bench with --host-prof and pass "
+                "--hostprof to emit)"]
+    lines = [f"{'host phase':14} {'base s':>10} {'now s':>10} "
+             f"{'delta s':>10}"]
+    for name, b, c, d in rows:
+        lines.append(f"{name:14} {b:>10.3f} {c:>10.3f} {d:>+10.3f}")
+    top = rows[0]
+    if top[3] > 0:
+        lines.append(f"top regressing host phase: {top[0]} "
+                     f"({top[3]:+.3f} s)")
+    else:
+        lines.append("no host phase regressed")
+    return lines
+
+
 def git_sha():
     try:
         out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
@@ -123,6 +178,8 @@ def cmd_emit(args):
         "build_type": args.build_type,
         "results": extract_results(args.bench_json),
     }
+    if args.hostprof:
+        record["host_phases"] = read_hostprof(args.hostprof)
     with open(args.out, "w") as f:
         json.dump(record, f, indent=2)
         f.write("\n")
@@ -190,9 +247,21 @@ def cmd_check(args):
             print(f"{'  sim-cycles/host-sec':40} {bc:>14.0f} "
                   f"{cc:>14.0f} {cc / bc - 1.0:>+7.1%}")
     if worst:
+        # Before failing, say where the host time went: the phase
+        # columns turn "it got slower" into "event drain got slower".
+        for line in explain_lines(base, record):
+            print(line)
         names = ", ".join(f"{n} (+{d:.0%})" for n, d in worst)
         fail(f"perf regression beyond {args.threshold:.0%}: {names}")
     print("trajectory check passed")
+    return 0
+
+
+def cmd_explain(args):
+    base = load_json(args.baseline, "baseline record")
+    cand = load_json(args.record, "candidate record")
+    for line in explain_lines(base, cand):
+        print(line)
     return 0
 
 
@@ -209,6 +278,9 @@ def main():
                     help="stable id of the measuring host class "
                          "(default: hostname)")
     em.add_argument("--build-type", default="RelWithDebInfo")
+    em.add_argument("--hostprof",
+                    help="wwtcmp.hostprof/1 manifest to fold in as "
+                         "the record's host_phases breakdown")
     em.set_defaults(fn=cmd_emit)
 
     app = sub.add_parser("append", help="record -> trajectory file")
@@ -226,6 +298,13 @@ def main():
                          "(default: the record's own host_key)")
     ck.add_argument("--allow-missing-baseline", action="store_true")
     ck.set_defaults(fn=cmd_check)
+
+    ex = sub.add_parser("explain",
+                        help="host-phase breakdown of the wall-time "
+                             "delta between two records")
+    ex.add_argument("--baseline", required=True)
+    ex.add_argument("--record", required=True)
+    ex.set_defaults(fn=cmd_explain)
 
     args = ap.parse_args()
     sys.exit(args.fn(args))
