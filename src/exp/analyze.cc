@@ -505,6 +505,8 @@ struct ScenarioAnalysis {
     RunStatus status = RunStatus::Pass;
     int manifestVersion = 0; ///< 0 = no manifest loaded
     std::string note;        ///< why analyses are missing, if so
+    bool cached = false;     ///< record was served from the cache
+    std::string cacheSource; ///< provenance: where the numbers live
     OutlierAnalysis outliers;
     std::vector<Wave> waves;
     std::vector<TailStat> tails;
@@ -517,6 +519,8 @@ analyzeScenario(const std::string& dir, const RunRecord& rec,
     ScenarioAnalysis a;
     a.id = rec.scenario;
     a.status = rec.status;
+    a.cached = rec.cached;
+    a.cacheSource = rec.cacheSource;
     if (rec.status == RunStatus::Crash ||
         rec.status == RunStatus::Timeout) {
         a.note = "no analysis: run did not complete";
@@ -528,7 +532,18 @@ analyzeScenario(const std::string& dir, const RunRecord& rec,
     }
     Manifest m;
     std::string err;
-    if (!loadManifest(dir + "/" + rec.metricsPath, m, err)) {
+    bool loaded = loadManifest(dir + "/" + rec.metricsPath, m, err);
+    if (!loaded && rec.cached && !rec.cacheSource.empty()) {
+        // A cache hit copied from another campaign: the manifest
+        // lives next to the *original* results file, not here.
+        std::size_t slash = rec.cacheSource.find_last_of('/');
+        std::string src_dir = slash == std::string::npos
+                                  ? std::string(".")
+                                  : rec.cacheSource.substr(0, slash);
+        std::string err2;
+        loaded = loadManifest(src_dir + "/" + rec.metricsPath, m, err2);
+    }
+    if (!loaded) {
         a.note = "no analysis: " + err;
         return a;
     }
@@ -562,6 +577,11 @@ struct AttributionGroup {
     bool haveWall = false;
     bool haveHostPhases = false;
     std::map<std::string, double> deltaHostPhases; ///< name -> dsec
+    /** Pairs where either side is a cache hit: their simulated
+     *  deltas count (bit-identical to an execution), but their host
+     *  timings are zeros-by-construction, so they are excluded from
+     *  the wall/host-phase attribution above. */
+    std::size_t cachedPairs = 0;
 
     double
     magnitude() const
@@ -680,19 +700,27 @@ attributeDiff(const std::map<std::string, RunRecord>& cur,
             g.deltaByCat[c] += (vc ? *vc : 0) - (vb ? *vb : 0);
         }
         g.deltaTotal += rc.totalCyclesPerProc - rb.totalCyclesPerProc;
-        g.deltaWallSec += rc.wallSec - rb.wallSec;
-        g.haveWall |= rc.wallSec != 0 || rb.wallSec != 0;
-        if (!rc.hostPhases.empty() || !rb.hostPhases.empty()) {
-            g.haveHostPhases = true;
-            std::set<std::string> phases;
-            for (const auto& [k, v] : rc.hostPhases)
-                phases.insert(k);
-            for (const auto& [k, v] : rb.hostPhases)
-                phases.insert(k);
-            for (const std::string& k : phases) {
-                const double* pc = findValue(rc.hostPhases, k);
-                const double* pb = findValue(rb.hostPhases, k);
-                g.deltaHostPhases[k] += (pc ? *pc : 0) - (pb ? *pb : 0);
+        if (rc.cached || rb.cached) {
+            // A cache-hit record carries zeroed host timings; folding
+            // them in would attribute the whole original wall time as
+            // a phantom speedup.
+            ++g.cachedPairs;
+        } else {
+            g.deltaWallSec += rc.wallSec - rb.wallSec;
+            g.haveWall |= rc.wallSec != 0 || rb.wallSec != 0;
+            if (!rc.hostPhases.empty() || !rb.hostPhases.empty()) {
+                g.haveHostPhases = true;
+                std::set<std::string> phases;
+                for (const auto& [k, v] : rc.hostPhases)
+                    phases.insert(k);
+                for (const auto& [k, v] : rb.hostPhases)
+                    phases.insert(k);
+                for (const std::string& k : phases) {
+                    const double* pc = findValue(rc.hostPhases, k);
+                    const double* pb = findValue(rb.hostPhases, k);
+                    g.deltaHostPhases[k] +=
+                        (pc ? *pc : 0) - (pb ? *pb : 0);
+                }
             }
         }
     }
@@ -728,8 +756,10 @@ void
 renderScenarioText(std::ostream& os, const ScenarioAnalysis& a)
 {
     char line[256];
-    os << "scenario " << a.id << " (" << runStatusName(a.status)
-       << ")\n";
+    os << "scenario " << a.id << " (" << runStatusName(a.status);
+    if (a.cached)
+        os << ", cached from " << a.cacheSource;
+    os << ")\n";
     if (!a.note.empty()) {
         os << "  " << a.note << "\n";
         return;
@@ -831,6 +861,13 @@ renderAttributionText(std::ostream& os, const Attribution& attr,
                           "      host wall %+.3f s\n", g.deltaWallSec);
             os << line;
         }
+        if (g.cachedPairs > 0) {
+            std::snprintf(line, sizeof(line),
+                          "      (%zu cached pair(s) excluded from "
+                          "host timings)\n",
+                          g.cachedPairs);
+            os << line;
+        }
         if (g.haveHostPhases) {
             // The paper's question, asked of the simulator: which
             // host phase absorbed the wall-time delta?
@@ -890,6 +927,10 @@ writeAnalysisJson(std::ostream& os, const std::string& dir,
         w.kv("id", a.id);
         w.kv("status", runStatusName(a.status));
         w.kv("manifest_schema", a.manifestVersion);
+        if (a.cached) {
+            w.kv("cached", true);
+            w.kv("cache_source", a.cacheSource);
+        }
         if (!a.note.empty())
             w.kv("note", a.note);
         w.key("outliers").beginObject();
@@ -994,6 +1035,8 @@ writeAnalysisJson(std::ostream& os, const std::string& dir,
             }
             w.endArray();
             w.kv("wall_delta_sec", g.deltaWallSec);
+            w.kv("cached_pairs",
+                 static_cast<std::uint64_t>(g.cachedPairs));
             if (g.haveHostPhases) {
                 w.key("host_phases").beginArray();
                 for (const auto& [k, v] : g.deltaHostPhases) {

@@ -4,13 +4,18 @@
  *
  *   wwtcmp_campaign run <campaign.json> [--profile P] [--dir D]
  *                   [--jobs N] [--timeout S] [--retries N]
- *                   [--chaos-kill ID] [--host-prof]
+ *                   [--chaos-kill ID] [--chaos-write-kill ID]
+ *                   [--host-prof] [--cache DIR]...
+ *                   [--workers A,B,..] [--worker A]
+ *                   [--lease-timeout S]
  *   wwtcmp_campaign resume <campaign.json> [same flags]
  *   wwtcmp_campaign list <campaign.json> [--profile P]
  *   wwtcmp_campaign report <dir> [--format text|json|csv]
  *   wwtcmp_campaign diff <dirA> <dirB> [--tol X]
  *   wwtcmp_campaign analyze <dir> [--baseline DIR] [--json FILE]
  *                   [--outlier-eps X] [--skew-band X]
+ *   wwtcmp_campaign serve <dir>... [--out D] [--port N] [--host H]
+ *                   [--once] [--trajectory FILE]
  *
  * `run` executes every expanded scenario of the campaign file in
  * crash-isolated parallel child processes (each child is this binary
@@ -27,16 +32,35 @@
  * per scenario (wwtcmp.hostprof/1, under <dir>/hostprof/) and fills
  * the records' host-phase breakdown; wall/user/sys/max-RSS are
  * recorded on every run regardless.
+ *
+ * Service mode (docs/campaigns.md, "service mode"):
+ *  - Children hand records back through a shared-memory record ring
+ *    (svc/ring.hh); the tmp-file path remains the overflow fallback.
+ *  - `--cache DIR` adds DIR's results to the content-addressed cache
+ *    index: scenarios whose config hash already has a passing record
+ *    anywhere (own store included) are adopted as cache-hit records
+ *    with provenance instead of being re-executed.
+ *  - `--workers a,b --worker a` runs this process as one of several
+ *    cooperating runners sharing the store directory: scenarios are
+ *    sharded by config hash, claims are lease files with heartbeats
+ *    (svc/lease.hh), and a dead worker's claims re-issue after
+ *    `--lease-timeout` seconds.
+ *  - `serve` renders the read-side dashboard (svc/dashboard.hh) and
+ *    optionally serves it over a tiny single-threaded HTTP endpoint.
  */
 
+#include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <set>
+#include <sstream>
 #include <thread>
 
 #include "audit/check.hh"
@@ -48,6 +72,11 @@
 #include "exp/scenario.hh"
 #include "exp/store.hh"
 #include "prof/hostprof.hh"
+#include "svc/cache_index.hh"
+#include "svc/dashboard.hh"
+#include "svc/http.hh"
+#include "svc/lease.hh"
+#include "svc/ring.hh"
 
 using namespace wwt;
 
@@ -65,6 +94,10 @@ usage(const char* msg = nullptr)
         "[--dir D] [--jobs N]\n"
         "                              [--timeout S] [--retries N] "
         "[--chaos-kill ID] [--host-prof]\n"
+        "                              [--chaos-write-kill ID] "
+        "[--cache DIR]...\n"
+        "                              [--workers A,B,..] [--worker A] "
+        "[--lease-timeout S]\n"
         "       wwtcmp_campaign resume <campaign.json> [same flags]\n"
         "       wwtcmp_campaign list   <campaign.json> [--profile P]\n"
         "       wwtcmp_campaign report <dir> [--format text|json|csv]\n"
@@ -73,6 +106,9 @@ usage(const char* msg = nullptr)
         "[--json FILE]\n"
         "                               [--outlier-eps X] "
         "[--skew-band X]\n"
+        "       wwtcmp_campaign serve  <dir>... [--out D] [--port N] "
+        "[--host H] [--once]\n"
+        "                              [--trajectory FILE]\n"
         "apps: %s\n",
         exp::appNames().c_str());
     return 2;
@@ -104,8 +140,23 @@ struct Cli {
     bool hostProf = false;
     exp::ReportFormat format = exp::ReportFormat::Text;
     exp::AnalyzeOptions analyze;
+    // Service mode (run/resume).
+    std::vector<std::string> cacheDirs; ///< --cache DIR (repeatable)
+    std::vector<std::string> workers;   ///< --workers a,b,c
+    std::string workerName;             ///< --worker a
+    double leaseTimeoutSec = 30;        ///< --lease-timeout S
+    std::string chaosWriteKillId;       ///< die mid-WRITING once
+    // serve
+    std::string outDir = "dashboard";
+    std::string host = "127.0.0.1";
+    int port = -1; ///< -1 = render only; 0 = ephemeral
+    bool once = false;
+    std::string trajectoryPath = "bench/BENCH_trajectory.json";
     // --run-one internals
     std::string scenarioId;
+    std::string ringPath;
+    int ringSlot = -1;
+    bool chaosDieWriting = false;
 };
 
 /** Strict non-negative double flag value (core/parse.hh spirit). */
@@ -183,8 +234,51 @@ parseCli(int argc, char** argv, Cli& c)
         } else if (!std::strcmp(argv[i], "--skew-band")) {
             c.analyze.skewBand = requireNonNegative(
                 "--skew-band", value("--skew-band"));
+        } else if (!std::strcmp(argv[i], "--cache")) {
+            c.cacheDirs.push_back(value("--cache"));
+        } else if (!std::strcmp(argv[i], "--workers")) {
+            std::string csv = value("--workers");
+            std::string name;
+            std::istringstream ss(csv);
+            while (std::getline(ss, name, ',')) {
+                if (!name.empty())
+                    c.workers.push_back(name);
+            }
+            if (c.workers.empty()) {
+                std::fprintf(stderr,
+                             "error: --workers expects a comma-"
+                             "separated worker list, got '%s'\n",
+                             csv.c_str());
+                std::exit(2);
+            }
+        } else if (!std::strcmp(argv[i], "--worker")) {
+            c.workerName = value("--worker");
+        } else if (!std::strcmp(argv[i], "--lease-timeout")) {
+            c.leaseTimeoutSec = static_cast<double>(core::requireCount(
+                "--lease-timeout", value("--lease-timeout"), 1,
+                86400));
+        } else if (!std::strcmp(argv[i], "--chaos-write-kill")) {
+            c.chaosWriteKillId = value("--chaos-write-kill");
+        } else if (!std::strcmp(argv[i], "--out")) {
+            c.outDir = value("--out");
+        } else if (!std::strcmp(argv[i], "--host")) {
+            c.host = value("--host");
+        } else if (!std::strcmp(argv[i], "--port")) {
+            c.port = static_cast<int>(core::requireCount(
+                "--port", value("--port"), 0, 65535));
+        } else if (!std::strcmp(argv[i], "--once")) {
+            c.once = true;
+        } else if (!std::strcmp(argv[i], "--trajectory")) {
+            c.trajectoryPath = value("--trajectory");
         } else if (!std::strcmp(argv[i], "--scenario")) {
             c.scenarioId = value("--scenario");
+        } else if (!std::strcmp(argv[i], "--ring")) {
+            c.ringPath = value("--ring");
+        } else if (!std::strcmp(argv[i], "--ring-slot")) {
+            c.ringSlot = static_cast<int>(core::requireCount(
+                "--ring-slot", value("--ring-slot"), 0, 4096));
+        } else if (!std::strcmp(argv[i], "--chaos-die-writing")) {
+            c.chaosDieWriting = true;
         } else if (argv[i][0] == '-') {
             std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
             std::exit(2);
@@ -288,13 +382,50 @@ runOne(const Cli& cli)
         std::fprintf(stderr, "%s\n", prof::coverageLine(hp).c_str());
     }
 
-    std::ofstream os(store.tmpRecordPath(s->id));
-    if (!os) {
-        std::fprintf(stderr, "cannot write %s\n",
-                     store.tmpRecordPath(s->id).c_str());
-        return 3;
+    // Hand the record back: shared-memory ring first (svc/ring.hh),
+    // tmp file as the overflow / no-ring fallback. The parent only
+    // trusts either copy after re-validating it.
+    std::string line = rec.toJsonLine();
+    auto writeTmp = [&]() -> bool {
+        std::ofstream os(store.tmpRecordPath(s->id));
+        if (!os) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         store.tmpRecordPath(s->id).c_str());
+            return false;
+        }
+        os << line << '\n';
+        return true;
+    };
+
+    bool handed = false;
+    if (!cli.ringPath.empty() && cli.ringSlot >= 0) {
+        try {
+            svc::RecordRing ring = svc::RecordRing::open(cli.ringPath);
+            auto slot = static_cast<std::uint32_t>(cli.ringSlot);
+            if (ring.claim(slot)) {
+                if (cli.chaosDieWriting) {
+                    // Chaos hook: die with the slot mid-WRITING so
+                    // the parent's reclaim path is exercised for
+                    // real (half a payload, no state transition).
+                    std::memcpy(ring.rawPayload(slot), line.data(),
+                                line.size() / 2);
+                    ::raise(SIGKILL);
+                }
+                if (ring.publish(slot, line)) {
+                    handed = true;
+                } else if (writeTmp()) {
+                    ring.markOverflow(slot);
+                    handed = true;
+                }
+            }
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "ring handoff failed (%s); using "
+                                 "the tmp file\n",
+                         e.what());
+        }
     }
-    os << rec.toJsonLine() << '\n';
+    if (!handed && !writeTmp())
+        return 3;
     return rec.status == exp::RunStatus::Pass ? 0 : 1;
 }
 
@@ -316,7 +447,30 @@ runCampaign(const Cli& cli, const char* argv0, bool resume)
     }
 
     exp::Store store(cli.dir.empty() ? defaultDir(campaign) : cli.dir);
-    if (!resume && store.exists()) {
+
+    // Cooperating-worker mode: several runner processes share the
+    // store; each appends to its own shard file and claims scenarios
+    // through leases. Worker mode always has resume semantics — the
+    // other workers' records ARE previous results.
+    bool cooperative = !cli.workers.empty() || !cli.workerName.empty();
+    if (cooperative) {
+        if (cli.workers.empty() || cli.workerName.empty()) {
+            std::fprintf(stderr, "error: --workers and --worker go "
+                                 "together\n");
+            return 2;
+        }
+        if (std::find(cli.workers.begin(), cli.workers.end(),
+                      cli.workerName) == cli.workers.end()) {
+            std::fprintf(stderr,
+                         "error: --worker '%s' is not in the "
+                         "--workers list\n",
+                         cli.workerName.c_str());
+            return 2;
+        }
+        store.setWorker(cli.workerName);
+    }
+
+    if (!resume && !cooperative && store.exists()) {
         std::fprintf(stderr,
                      "error: %s already holds results; use 'resume' "
                      "to continue it or point --dir at a fresh "
@@ -328,8 +482,8 @@ runCampaign(const Cli& cli, const char* argv0, bool resume)
 
     // Apply CLI overrides and split into skip/run lists.
     std::map<std::string, exp::RunRecord> latest =
-        resume ? store.loadLatest()
-               : std::map<std::string, exp::RunRecord>{};
+        resume || cooperative ? store.loadLatest()
+                              : std::map<std::string, exp::RunRecord>{};
     std::vector<exp::Scenario> todo;
     std::size_t skipped = 0;
     for (exp::Scenario s : campaign.scenarios) {
@@ -337,7 +491,7 @@ runCampaign(const Cli& cli, const char* argv0, bool resume)
             s.timeoutSec = cli.timeoutOverride;
         if (cli.retriesOverride >= 0)
             s.retries = cli.retriesOverride;
-        if (resume && store.satisfiedBy(latest, s)) {
+        if ((resume || cooperative) && store.satisfiedBy(latest, s)) {
             ++skipped;
             continue;
         }
@@ -349,100 +503,266 @@ runCampaign(const Cli& cli, const char* argv0, bool resume)
         unsigned hw = std::thread::hardware_concurrency();
         jobs = std::min<std::size_t>(hw ? hw : 1, 8);
     }
+    if (!todo.empty() && jobs > todo.size()) {
+        // More job slots than runnable scenarios buys nothing; clamp
+        // loudly so a mistyped --jobs is visible.
+        std::fprintf(stderr,
+                     "note: --jobs %zu exceeds the %zu runnable "
+                     "scenario(s); clamping to %zu\n",
+                     jobs, todo.size(), todo.size());
+        jobs = todo.size();
+    }
     std::printf("campaign %s [%s]: %zu scenario(s), %zu skipped, "
                 "%zu job(s) -> %s\n",
                 campaign.name.c_str(), campaign.profile.c_str(),
-                campaign.scenarios.size(), skipped,
-                std::min(jobs, todo.size()), store.dir().c_str());
+                campaign.scenarios.size(), skipped, jobs,
+                store.dir().c_str());
 
-    if (!cli.chaosKillId.empty() &&
-        !campaign.find(cli.chaosKillId)) {
-        std::fprintf(stderr, "error: --chaos-kill names unknown "
-                             "scenario '%s'\n",
-                     cli.chaosKillId.c_str());
-        return 2;
+    for (const std::string& id :
+         {cli.chaosKillId, cli.chaosWriteKillId}) {
+        if (!id.empty() && !campaign.find(id)) {
+            std::fprintf(stderr, "error: chaos flag names unknown "
+                                 "scenario '%s'\n",
+                         id.c_str());
+            return 2;
+        }
     }
 
+    // Content-addressed cache: every passing record already in this
+    // store (any shard) or in a --cache store proves its config hash
+    // and is adopted instead of re-executed.
+    svc::CacheIndex cache;
+    cache.addStore(store.dir());
+    for (const std::string& d : cli.cacheDirs)
+        cache.addStore(d);
+
+    // The shared-memory handoff ring, one per runner process.
+    std::string ringPath =
+        store.dir() + "/tmp/ring." +
+        (cli.workerName.empty() ? std::string("main")
+                                : cli.workerName);
+    svc::RecordRing ring = svc::RecordRing::create(
+        ringPath, static_cast<std::uint32_t>(std::max<std::size_t>(
+                      jobs, 1)));
+
+    std::size_t done = 0;
+    std::size_t executed = 0;
+    std::size_t cachedCount = 0;
+    int failures = 0;
+    exp::RunnerStats stats;
+    std::size_t total = todo.size();
+
+    // Adopt a proven record for s, if the cache holds one.
+    auto tryCache = [&](const exp::Scenario& s) -> bool {
+        const svc::CacheHit* hit = cache.find(s.configHash());
+        if (!hit)
+            return false;
+        exp::RunRecord rec =
+            svc::CacheIndex::cacheRecord(*hit, s.id);
+        store.append(rec);
+        ++done;
+        ++cachedCount;
+        std::printf("[%zu/%zu] %-7s %-40s (cache <- %s:%llu)\n", done,
+                    total, "cached", s.id.c_str(),
+                    rec.cacheSource.c_str(),
+                    static_cast<unsigned long long>(rec.cacheLine));
+        std::fflush(stdout);
+        return true;
+    };
+
+    auto onDone = [&](const exp::Scenario& s,
+                      const exp::ChildOutcome& out) {
+        exp::RunRecord rec;
+        bool adopted = false;
+        if (out.kind == exp::ChildOutcome::Kind::Exited &&
+            (out.exitCode == 0 || out.exitCode == 1)) {
+            // The child claims it handed a record back — through the
+            // ring, or the tmp file on overflow/fallback. Validate
+            // either copy before adopting it into the results file.
+            std::string line;
+            bool have = false;
+            if (out.hasPayload) {
+                line = out.payload;
+                have = true;
+            } else {
+                std::ifstream in(store.tmpRecordPath(s.id));
+                have = in && std::getline(in, line);
+            }
+            if (have) {
+                try {
+                    rec = exp::RunRecord::fromJsonLine(line);
+                    adopted = rec.scenario == s.id &&
+                              rec.configHash == s.configHash();
+                } catch (const std::exception&) {
+                    adopted = false;
+                }
+            }
+        }
+        if (!adopted) {
+            rec = exp::RunRecord{};
+            rec.scenario = s.id;
+            rec.configHash = s.configHash();
+            rec.app = s.app;
+            rec.machine = s.machine;
+            switch (out.kind) {
+              case exp::ChildOutcome::Kind::Timeout:
+                rec.status = exp::RunStatus::Timeout;
+                break;
+              case exp::ChildOutcome::Kind::Signal:
+              case exp::ChildOutcome::Kind::SpawnError:
+                rec.status = exp::RunStatus::Crash;
+                break;
+              case exp::ChildOutcome::Kind::Exited:
+                rec.status = exp::RunStatus::Fail;
+                break;
+            }
+            rec.error = !out.detail.empty()
+                            ? out.detail
+                            : "child exited with status " +
+                                  std::to_string(out.exitCode) +
+                                  " without a valid record";
+        }
+        rec.attempts = out.attempts;
+        std::remove(store.tmpRecordPath(s.id).c_str());
+        store.append(rec);
+        ++done;
+        ++executed;
+        if (rec.status != exp::RunStatus::Pass)
+            ++failures;
+        std::printf("[%zu/%zu] %-7s %-40s (%d attempt%s%s%s)\n", done,
+                    total, exp::runStatusName(rec.status),
+                    s.id.c_str(), rec.attempts,
+                    rec.attempts == 1 ? "" : "s",
+                    rec.error.empty() ? "" : ": ",
+                    rec.error.c_str());
+        std::fflush(stdout);
+    };
+
     std::string exe = selfExe(argv0);
-    exp::RunnerOptions ropts;
-    ropts.jobs = jobs;
-    ropts.chaosKillId = cli.chaosKillId;
-    exp::Runner runner(ropts, [&](const exp::Scenario& s) {
+    auto command = [&](const exp::Scenario& s, int attempt,
+                       int ring_slot) {
         std::vector<std::string> cmd{
             exe,          "--run-one",  path,
             "--profile",  cli.profile,  "--scenario",
             s.id,         "--dir",      store.dir(),
         };
+        if (ring_slot >= 0) {
+            cmd.push_back("--ring");
+            cmd.push_back(ringPath);
+            cmd.push_back("--ring-slot");
+            cmd.push_back(std::to_string(ring_slot));
+            if (attempt == 1 && s.id == cli.chaosWriteKillId)
+                cmd.push_back("--chaos-die-writing");
+        }
         if (cli.hostProf)
             cmd.push_back("--host-prof");
         return cmd;
-    });
+    };
+    auto logPath = [&](const exp::Scenario& s) {
+        return store.logPath(s.id);
+    };
 
-    std::size_t done = 0;
-    int failures = 0;
-    runner.run(
-        todo,
-        [&](const exp::Scenario& s, const exp::ChildOutcome& out) {
-            exp::RunRecord rec;
-            bool adopted = false;
-            if (out.kind == exp::ChildOutcome::Kind::Exited &&
-                (out.exitCode == 0 || out.exitCode == 1)) {
-                // The child claims it wrote a record: validate it
-                // before adopting it into results.jsonl.
-                std::ifstream in(store.tmpRecordPath(s.id));
-                std::string line;
-                if (in && std::getline(in, line)) {
-                    try {
-                        rec = exp::RunRecord::fromJsonLine(line);
-                        adopted = rec.scenario == s.id &&
-                                  rec.configHash == s.configHash();
-                    } catch (const std::exception&) {
-                        adopted = false;
-                    }
-                }
-            }
-            if (!adopted) {
-                rec = exp::RunRecord{};
-                rec.scenario = s.id;
-                rec.configHash = s.configHash();
-                rec.app = s.app;
-                rec.machine = s.machine;
-                switch (out.kind) {
-                  case exp::ChildOutcome::Kind::Timeout:
-                    rec.status = exp::RunStatus::Timeout;
-                    break;
-                  case exp::ChildOutcome::Kind::Signal:
-                  case exp::ChildOutcome::Kind::SpawnError:
-                    rec.status = exp::RunStatus::Crash;
-                    break;
-                  case exp::ChildOutcome::Kind::Exited:
-                    rec.status = exp::RunStatus::Fail;
-                    break;
-                }
-                rec.error = !out.detail.empty()
-                                ? out.detail
-                                : "child exited with status " +
-                                      std::to_string(out.exitCode) +
-                                      " without a valid record";
-            }
-            rec.attempts = out.attempts;
-            std::remove(store.tmpRecordPath(s.id).c_str());
-            store.append(rec);
-            ++done;
-            if (rec.status != exp::RunStatus::Pass)
-                ++failures;
-            std::printf("[%zu/%zu] %-7s %-40s (%d attempt%s%s%s)\n",
-                        done, todo.size(),
-                        exp::runStatusName(rec.status), s.id.c_str(),
-                        rec.attempts, rec.attempts == 1 ? "" : "s",
-                        rec.error.empty() ? "" : ": ",
-                        rec.error.c_str());
-            std::fflush(stdout);
-        },
-        [&](const exp::Scenario& s) { return store.logPath(s.id); });
+    exp::RunnerOptions ropts;
+    ropts.jobs = jobs;
+    ropts.chaosKillId = cli.chaosKillId;
+    ropts.ring = &ring;
 
-    std::printf("campaign %s: %zu run, %zu skipped, %d failure(s)\n",
-                campaign.name.c_str(), done, skipped, failures);
+    if (!cooperative) {
+        std::vector<exp::Scenario> batch;
+        for (const exp::Scenario& s : todo) {
+            if (!tryCache(s))
+                batch.push_back(s);
+        }
+        exp::Runner runner(ropts, command);
+        stats = runner.run(batch, onDone, logPath);
+    } else {
+        // Cooperative loop: claim own-shard scenarios first; foreign
+        // scenarios only once their lease is stale (their worker is
+        // presumed dead) or absent after a startup grace period of
+        // one lease timeout (their worker never arrived).
+        std::vector<std::string> names = cli.workers;
+        std::sort(names.begin(), names.end());
+        names.erase(std::unique(names.begin(), names.end()),
+                    names.end());
+        std::size_t self = static_cast<std::size_t>(
+            std::find(names.begin(), names.end(), cli.workerName) -
+            names.begin());
+        auto shardOf = [&](const exp::Scenario& s) {
+            return static_cast<std::size_t>(
+                       std::stoull(s.configHash(), nullptr, 16)) %
+                   names.size();
+        };
+        std::stable_partition(todo.begin(), todo.end(),
+                              [&](const exp::Scenario& s) {
+                                  return shardOf(s) == self;
+                              });
+
+        svc::LeaseDir leases(store.leasesDir(), cli.workerName,
+                             cli.leaseTimeoutSec);
+        double lastBeat = svc::LeaseDir::now();
+        ropts.tick = [&]() {
+            double now = svc::LeaseDir::now();
+            if (now - lastBeat > cli.leaseTimeoutSec / 4) {
+                leases.heartbeat();
+                lastBeat = now;
+            }
+        };
+
+        double start = svc::LeaseDir::now();
+        for (;;) {
+            std::map<std::string, exp::RunRecord> fold =
+                store.loadLatest();
+            std::vector<exp::Scenario> batch;
+            bool unresolved = false;
+            for (const exp::Scenario& s : todo) {
+                if (fold.count(s.id))
+                    continue; // some worker recorded a terminal state
+                unresolved = true;
+                bool mine = shardOf(s) == self;
+                if (!mine) {
+                    svc::LeaseDir::Info info = leases.read(s.id);
+                    bool grace = svc::LeaseDir::now() - start <
+                                 cli.leaseTimeoutSec;
+                    if (!info.exists && grace)
+                        continue; // its worker may still arrive
+                    if (info.exists && !leases.stale(info) &&
+                        info.owner != cli.workerName)
+                        continue; // its worker is alive
+                }
+                if (!leases.acquire(s.id))
+                    continue;
+                if (tryCache(s)) {
+                    leases.release(s.id);
+                    continue;
+                }
+                batch.push_back(s);
+            }
+            if (batch.empty()) {
+                if (!unresolved)
+                    break; // every scenario has a terminal record
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(200));
+                continue;
+            }
+            exp::Runner runner(ropts, command);
+            exp::RunnerStats bs =
+                runner.run(batch,
+                           [&](const exp::Scenario& s,
+                               const exp::ChildOutcome& out) {
+                               onDone(s, out);
+                               leases.release(s.id);
+                           },
+                           logPath);
+            stats.spawns += bs.spawns;
+            stats.ringReclaims += bs.ringReclaims;
+        }
+    }
+
+    std::printf("campaign %s: %zu executed, %zu cached, %zu skipped, "
+                "%d failure(s); %zu child exec(s), %zu ring "
+                "reclaim(s)\n",
+                campaign.name.c_str(), executed, cachedCount, skipped,
+                failures, stats.spawns, stats.ringReclaims);
     return failures == 0 ? 0 : 1;
 }
 
@@ -496,6 +816,40 @@ main(int argc, char** argv)
                 return usage("analyze needs exactly one directory");
             return exp::analyzeCampaign(cli.positional[0],
                                         cli.analyze, std::cout);
+        }
+        if (cli.verb == "serve") {
+            if (cli.positional.empty())
+                return usage(
+                    "serve needs at least one campaign directory");
+            svc::DashboardOptions d;
+            d.campaignDirs = cli.positional;
+            d.outDir = cli.outDir;
+            d.trajectoryPath = cli.trajectoryPath;
+            int rc = svc::buildDashboard(d, std::cout);
+            if (rc != 0)
+                return rc;
+            if (cli.port < 0 && !cli.once)
+                return 0; // render-only invocation
+            svc::HttpServer server(cli.outDir);
+            std::string err;
+            if (!server.bind(cli.host, cli.port < 0 ? 0 : cli.port,
+                             err)) {
+                std::fprintf(stderr, "error: %s\n", err.c_str());
+                return 2;
+            }
+            std::printf("serving %s at http://%s:%d/\n",
+                        cli.outDir.c_str(), cli.host.c_str(),
+                        server.port());
+            std::fflush(stdout);
+            if (cli.once) {
+                if (!server.handleOne(err)) {
+                    std::fprintf(stderr, "error: %s\n", err.c_str());
+                    return 2;
+                }
+                return 0;
+            }
+            server.serveForever();
+            return 0;
         }
         if (cli.verb == "diff") {
             if (cli.positional.size() != 2)

@@ -61,9 +61,21 @@ void
 reportJson(const std::map<std::string, RunRecord>& latest,
            std::ostream& os)
 {
+    std::size_t cachedCount = 0;
+    for (const auto& [id, rec] : latest)
+        cachedCount += rec.cached ? 1 : 0;
+
     trace::JsonWriter w(os, /*pretty=*/true);
     w.beginObject();
     w.kv("schema", "wwtcmp.campaign-report/1");
+    // The executed/cached split is what the fully-cached CI re-run
+    // gates on: a warm store must report "executed": 0.
+    w.key("summary").beginObject();
+    w.kv("scenarios", static_cast<std::uint64_t>(latest.size()));
+    w.kv("executed",
+         static_cast<std::uint64_t>(latest.size() - cachedCount));
+    w.kv("cached", static_cast<std::uint64_t>(cachedCount));
+    w.endObject();
     w.key("scenarios").beginArray();
     for (const auto& [id, rec] : latest) {
         w.beginObject();
@@ -99,6 +111,12 @@ reportJson(const std::map<std::string, RunRecord>& latest,
         }
         w.kv("shape_violations", rec.shapeViolations);
         w.kv("error", rec.error);
+        if (rec.cached) {
+            w.kv("cached", true);
+            w.kv("cache_source", rec.cacheSource);
+            w.kv("cache_line", rec.cacheLine);
+            w.kv("cache_wall_sec", rec.cacheWallSec);
+        }
         w.endObject();
     }
     w.endArray();
@@ -124,6 +142,7 @@ reportCsv(const std::map<std::string, RunRecord>& latest,
         os << ',' << name;
     }
     os << ",wall_sec,user_sec,sys_sec,max_rss_kb";
+    os << ",cached,cache_source,cache_line";
     os << '\n';
     char num[40];
     for (const auto& [id, rec] : latest) {
@@ -143,6 +162,8 @@ reportCsv(const std::map<std::string, RunRecord>& latest,
             std::snprintf(num, sizeof(num), "%.17g", v);
             os << ',' << num;
         }
+        os << ',' << (rec.cached ? 1 : 0) << ','
+           << csvField(rec.cacheSource) << ',' << rec.cacheLine;
         os << '\n';
     }
 }
@@ -191,21 +212,25 @@ reportCampaign(const std::string& dir, std::ostream& os,
     }
 
     std::size_t width = 8;
-    for (const auto& [id, rec] : latest)
+    int cachedCount = 0;
+    for (const auto& [id, rec] : latest) {
         width = std::max(width, id.size());
+        cachedCount += rec.cached ? 1 : 0;
+    }
 
     char line[256];
     std::snprintf(line, sizeof(line),
                   "campaign %s: %zu scenarios (%d pass, %d fail, "
-                  "%d crash, %d timeout)\n\n",
+                  "%d crash, %d timeout; %d cached)\n\n",
                   dir.c_str(), latest.size(), pass, fail, crash,
-                  timeout);
+                  timeout, cachedCount);
     os << line;
 
     // Header: scenario, status, total, then one column per category
     // (per-proc Mcycles).
-    std::snprintf(line, sizeof(line), "%-*s %-7s %10s", (int)width,
-                  "scenario", "status", "total(M)");
+    std::snprintf(line, sizeof(line), "%-*s %-7s %-6s %10s",
+                  (int)width, "scenario", "status", "source",
+                  "total(M)");
     os << line;
     for (const char* h : kShortCategory) {
         std::snprintf(line, sizeof(line), " %8s", h);
@@ -218,8 +243,10 @@ reportCampaign(const std::string& dir, std::ostream& os,
     os << '\n';
 
     for (const auto& [id, rec] : latest) {
-        std::snprintf(line, sizeof(line), "%-*s %-7s", (int)width,
-                      id.c_str(), runStatusName(rec.status));
+        std::snprintf(line, sizeof(line), "%-*s %-7s %-6s",
+                      (int)width, id.c_str(),
+                      runStatusName(rec.status),
+                      rec.cached ? "cache" : "run");
         os << line;
         if (rec.status == RunStatus::Crash ||
             rec.status == RunStatus::Timeout) {
@@ -239,6 +266,25 @@ reportCampaign(const std::string& dir, std::ostream& os,
                       rec.maxRssKb / 1024.0);
         os << line;
         os << '\n';
+    }
+
+    // Provenance appendix: every number above that was served from
+    // the cache names the file and line it was copied from (the
+    // LAMMPS-note rule, docs/campaigns.md).
+    if (cachedCount > 0) {
+        os << "\ncache provenance:\n";
+        for (const auto& [id, rec] : latest) {
+            if (!rec.cached)
+                continue;
+            std::snprintf(line, sizeof(line),
+                          "  %-*s <- %s:%llu (original wall %.2fs)\n",
+                          (int)width, id.c_str(),
+                          rec.cacheSource.c_str(),
+                          static_cast<unsigned long long>(
+                              rec.cacheLine),
+                          rec.cacheWallSec);
+            os << line;
+        }
     }
     return 0;
 }

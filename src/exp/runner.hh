@@ -19,6 +19,13 @@
  * with waitpid(WNOHANG), and sleeps between sweeps, so scheduling
  * needs no locks and the results file has exactly one writer.
  *
+ * Record handoff: when a RecordRing is attached (svc/ring.hh), each
+ * spawned attempt is assigned one ring slot; the child publishes its
+ * record line there and the parent drains it after the reap — the
+ * tmp-file path remains as the overflow fallback. A child that dies
+ * mid-WRITING leaves the slot dirty; the parent detects that state
+ * after waitpid, reclaims the slot, and counts the reclaim.
+ *
  * Chaos hook: `chaosKillId` names one scenario whose first attempt is
  * SIGKILLed right after the spawn — CI uses it to prove the retry
  * path stays alive (docs/campaigns.md).
@@ -29,6 +36,7 @@
 #include <vector>
 
 #include "exp/scenario.hh"
+#include "svc/ring.hh"
 
 namespace wwt::exp
 {
@@ -38,6 +46,11 @@ struct RunnerOptions {
     std::size_t jobs = 1;       ///< concurrent child processes
     double backoffSec = 0.5;    ///< retry delay = backoff * attempt
     std::string chaosKillId;    ///< SIGKILL this scenario's 1st attempt
+    /** Shared-memory handoff ring; nullptr = tmp-file handoff only.
+     *  Must have at least `jobs` slots. Not owned. */
+    svc::RecordRing* ring = nullptr;
+    /** Invoked once per scheduler sweep (lease heartbeats etc.). */
+    std::function<void()> tick;
 };
 
 /** What happened to one scenario's child process(es). */
@@ -53,6 +66,16 @@ struct ChildOutcome {
     int signal = 0;
     int attempts = 1;
     std::string detail; ///< human-readable diagnostic
+    // Ring handoff (valid only for Kind::Exited).
+    bool hasPayload = false; ///< `payload` was drained from the ring
+    bool overflow = false;   ///< child marked OVERFLOW (tmp file holds it)
+    std::string payload;     ///< the record line the child published
+};
+
+/** What the scheduler did, summed over the whole run. */
+struct RunnerStats {
+    std::size_t spawns = 0;       ///< children actually forked
+    std::size_t ringReclaims = 0; ///< slots reclaimed mid-WRITING
 };
 
 /**
@@ -65,15 +88,17 @@ struct ChildOutcome {
 class Runner
 {
   public:
-    /** Child command line for @p s; argv[0] is the executable. */
-    using CommandFn =
-        std::function<std::vector<std::string>(const Scenario&)>;
+    /** Child command line for @p s, attempt number (1-based), and the
+     *  assigned ring slot (-1 = no ring attached); argv[0] is the
+     *  executable. */
+    using CommandFn = std::function<std::vector<std::string>(
+        const Scenario&, int attempt, int ring_slot)>;
     /** Invoked from the scheduling loop once per finished scenario. */
     using DoneFn =
         std::function<void(const Scenario&, const ChildOutcome&)>;
 
     Runner(RunnerOptions opts, CommandFn command)
-        : opts_(opts), command_(std::move(command))
+        : opts_(std::move(opts)), command_(std::move(command))
     {
     }
 
@@ -82,8 +107,10 @@ class Runner
      * a scenario to the file receiving its child's stdout+stderr
      * (truncated per attempt).
      */
-    void run(const std::vector<Scenario>& scenarios, DoneFn on_done,
-             std::function<std::string(const Scenario&)> log_path);
+    RunnerStats run(const std::vector<Scenario>& scenarios,
+                    DoneFn on_done,
+                    std::function<std::string(const Scenario&)>
+                        log_path);
 
   private:
     RunnerOptions opts_;

@@ -1,8 +1,10 @@
 #include "exp/store.hh"
 
+#include <dirent.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cstdio>
@@ -59,6 +61,15 @@ stringOr(const audit::JsonValue& obj, const std::string& key,
     const audit::JsonValue* v = obj.find(key);
     return v && v->kind == audit::JsonValue::Kind::String ? v->string
                                                           : fallback;
+}
+
+bool
+boolOr(const audit::JsonValue& obj, const std::string& key,
+       bool fallback)
+{
+    const audit::JsonValue* v = obj.find(key);
+    return v && v->kind == audit::JsonValue::Kind::Bool ? v->boolean
+                                                        : fallback;
 }
 
 } // namespace
@@ -150,6 +161,15 @@ RunRecord::toJsonLine() const
         w.kv("metrics", metricsPath);
         w.kv("shape_violations", shapeViolations);
         w.kv("error", error);
+        // Provenance keys only exist on cache-hit records so that
+        // executed records keep their historical byte layout (the
+        // determinism diff gates compare stores byte-for-byte).
+        if (cached) {
+            w.kv("cached", true);
+            w.kv("cache_source", cacheSource);
+            w.kv("cache_line", cacheLine);
+            w.kv("cache_wall_sec", cacheWallSec);
+        }
         w.endObject();
     }
     return os.str();
@@ -213,14 +233,36 @@ RunRecord::fromJsonLine(const std::string& line)
     r.shapeViolations =
         static_cast<int>(numberOr(doc, "shape_violations", 0));
     r.error = stringOr(doc, "error", "");
+    r.cached = boolOr(doc, "cached", false);
+    if (r.cached) {
+        r.cacheSource = stringOr(doc, "cache_source", "");
+        r.cacheLine = static_cast<std::uint64_t>(
+            numberOr(doc, "cache_line", 0));
+        r.cacheWallSec = numberOr(doc, "cache_wall_sec", 0);
+    }
     return r;
+}
+
+void
+Store::setWorker(const std::string& name)
+{
+    if (name.empty())
+        throw std::runtime_error("worker name must not be empty");
+    for (char c : name) {
+        bool ok = std::isalnum(static_cast<unsigned char>(c)) ||
+                  c == '_' || c == '-';
+        if (!ok)
+            throw std::runtime_error(
+                "worker name \"" + name +
+                "\" must match [A-Za-z0-9_-] (it names a file)");
+    }
+    worker_ = name;
 }
 
 bool
 Store::exists() const
 {
-    struct stat st{};
-    return ::stat(resultsPath().c_str(), &st) == 0;
+    return !resultsFiles().empty();
 }
 
 void
@@ -231,6 +273,35 @@ Store::create() const
     makeDir(dir_ + "/metrics");
     makeDir(dir_ + "/hostprof");
     makeDir(dir_ + "/tmp");
+    makeDir(leasesDir());
+}
+
+std::vector<std::string>
+Store::resultsFiles() const
+{
+    // Fold order: the classic single-runner file first, then the
+    // worker shards sorted by name — the precedence order that the
+    // tie rule in the file comment refers to.
+    std::vector<std::string> shards;
+    bool classic = false;
+    if (DIR* d = ::opendir(dir_.c_str())) {
+        while (const dirent* e = ::readdir(d)) {
+            std::string name = e->d_name;
+            if (name == "results.jsonl")
+                classic = true;
+            else if (name.rfind("results.", 0) == 0 &&
+                     name.size() > 14 &&
+                     name.compare(name.size() - 6, 6, ".jsonl") == 0)
+                shards.push_back(dir_ + "/" + name);
+        }
+        ::closedir(d);
+    }
+    std::sort(shards.begin(), shards.end());
+    std::vector<std::string> files;
+    if (classic)
+        files.push_back(dir_ + "/results.jsonl");
+    files.insert(files.end(), shards.begin(), shards.end());
+    return files;
 }
 
 void
@@ -242,13 +313,14 @@ Store::append(const RunRecord& rec) const
     os << rec.toJsonLine() << '\n';
 }
 
-std::map<std::string, RunRecord>
-Store::loadLatest() const
+void
+Store::scanResultsFile(
+    const std::string& path,
+    const std::function<void(std::size_t, RunRecord&&)>& cb)
 {
-    std::map<std::string, RunRecord> latest;
-    std::ifstream in(resultsPath());
+    std::ifstream in(path);
     if (!in)
-        return latest;
+        return;
     std::vector<std::string> lines;
     std::string line;
     while (std::getline(in, line))
@@ -265,19 +337,43 @@ Store::loadLatest() const
         if (lines[i].empty())
             continue;
         try {
-            RunRecord r = RunRecord::fromJsonLine(lines[i]);
-            latest.insert_or_assign(r.scenario, std::move(r));
+            cb(i + 1, RunRecord::fromJsonLine(lines[i]));
         } catch (const std::exception& e) {
             if (i + 1 == last) {
                 std::fprintf(stderr,
                              "warning: %s:%zu: skipping malformed "
                              "trailing record (%s)\n",
-                             resultsPath().c_str(), i + 1, e.what());
+                             path.c_str(), i + 1, e.what());
                 break;
             }
-            throw std::runtime_error(resultsPath() + ":" +
+            throw std::runtime_error(path + ":" +
                                      std::to_string(i + 1) + ": " +
                                      e.what());
+        }
+    }
+}
+
+std::map<std::string, RunRecord>
+Store::loadLatest() const
+{
+    std::map<std::string, RunRecord> latest;
+    for (const std::string& file : resultsFiles()) {
+        // Within one file, the last record per id wins (resume
+        // appends supersede). Across files, a pass beats a non-pass
+        // (a re-issued claim that recovered must shadow the dead
+        // worker's timeout) and ties keep the earliest file in fold
+        // order — deterministic regardless of scan interleaving.
+        std::map<std::string, RunRecord> mine;
+        scanResultsFile(file, [&](std::size_t, RunRecord&& r) {
+            mine.insert_or_assign(r.scenario, std::move(r));
+        });
+        for (auto& [id, rec] : mine) {
+            auto it = latest.find(id);
+            if (it == latest.end())
+                latest.emplace(id, std::move(rec));
+            else if (it->second.status != RunStatus::Pass &&
+                     rec.status == RunStatus::Pass)
+                it->second = std::move(rec);
         }
     }
     return latest;

@@ -13,6 +13,10 @@
  *   <dir>/hostprof/<id>.json  wwtcmp.hostprof/1 host-time profile
  *                         (only when the campaign ran --host-prof)
  *   <dir>/tmp/            child-written records before validation
+ *                         (overflow fallback; the primary handoff is
+ *                         the shared-memory record ring, svc/ring.hh)
+ *   <dir>/leases/         scenario leases for cooperating workers
+ *                         (svc/lease.hh; empty in single-runner mode)
  *
  * Records (schema "wwtcmp.campaign-record/1") carry the scenario id,
  * the scenario's config hash, the scenario's config key/value pairs
@@ -22,11 +26,19 @@
  * host-side resource use (wall/user/sys seconds and peak RSS, plus a
  * host-phase breakdown when --host-prof was on) — all additive keys;
  * readers of older stores see zeros/empty.
- * Only the parent process appends to results.jsonl (children write to
- * tmp/ and the parent validates before adopting), so the file needs
- * no locking. The *last* record per scenario id wins: a resumed
- * campaign appends fresh records for re-run scenarios and the readers
- * fold the file into latest-per-id.
+ * Only the parent process appends to results.jsonl (children hand
+ * records back through the shared-memory ring or tmp/ and the parent
+ * validates before adopting), so the file needs no locking. In
+ * multi-worker mode (`--workers`) every cooperating runner keeps the
+ * same invariant by appending to its own shard file,
+ * results.<worker>.jsonl; readers fold *all* results files. Within
+ * one file the *last* record per scenario id wins (resume semantics);
+ * across files a passing record beats a non-passing one and ties keep
+ * the earliest file in fold order (results.jsonl first, then worker
+ * shards sorted by name) — a re-issued claim that
+ * eventually passed must win over the dead worker's timeout, and a
+ * benign duplicate execution (lease-steal race) carries bit-identical
+ * results either way, the simulator being deterministic.
  *
  * A *trailing* malformed line (the process died mid-append, the disk
  * filled) is tolerated with a warning and skipped; a malformed line
@@ -38,6 +50,8 @@
  * records whose scenarios changed.
  */
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -89,6 +103,18 @@ struct RunRecord {
     double maxRssKb = 0; ///< getrusage peak resident set, KB
     /** Host-profiler seconds per phase (empty unless --host-prof). */
     std::vector<std::pair<std::string, double>> hostPhases;
+    // Cache-hit provenance (svc/cache_index.hh). A cached record is a
+    // verbatim copy of a proven passing record for the same config
+    // hash: the simulated fields (cycles, counts, hashes) are the
+    // original's, the host timings are zeroed (nothing ran here), and
+    // these fields say exactly where the numbers came from — the
+    // LAMMPS-note rule (docs/campaigns.md). The keys are emitted only
+    // when cached is true, so executed records keep their exact
+    // pre-provenance byte layout.
+    bool cached = false;        ///< true = served from the cache index
+    std::string cacheSource;    ///< results file the hit came from
+    std::uint64_t cacheLine = 0;   ///< 1-based line in cacheSource
+    double cacheWallSec = 0;    ///< wall time of the original run
 
     /** Serialize as one compact JSON line (no trailing newline). */
     std::string toJsonLine() const;
@@ -109,24 +135,49 @@ class Store
 
     const std::string& dir() const { return dir_; }
 
-    /** True if the directory already holds a results file. */
+    /**
+     * Cooperating-worker mode: this process appends to its own shard
+     * file, results.<name>.jsonl, keeping the single-writer-per-file
+     * invariant. @p name must be [A-Za-z0-9_-].
+     * @throws std::runtime_error on an unsafe name.
+     */
+    void setWorker(const std::string& name);
+    const std::string& worker() const { return worker_; }
+
+    /** True if the directory already holds any results file. */
     bool exists() const;
 
     /** Create the directory layout (idempotent).
      *  @throws std::runtime_error when a directory cannot be made. */
     void create() const;
 
-    /** Append one validated record (parent only). */
+    /** Append one validated record (this process's shard only). */
     void append(const RunRecord& rec) const;
 
     /**
-     * Load results.jsonl folded to the latest record per scenario id.
-     * Returns an empty map when the file does not exist. A malformed
-     * *final* line (interrupted append) is skipped with a warning on
+     * Load every results file folded to the latest record per
+     * scenario id (fold rules in the file comment above). Returns an
+     * empty map when no results file exists. A malformed *final* line
+     * of any file (interrupted append) is skipped with a warning on
      * stderr; a malformed line anywhere earlier is corruption.
      * @throws std::runtime_error on an interior malformed line.
      */
     std::map<std::string, RunRecord> loadLatest() const;
+
+    /** Every existing results file of this store, sorted by name
+     *  (results.jsonl first, then the worker shards). */
+    std::vector<std::string> resultsFiles() const;
+
+    /**
+     * Scan one results file in line order, invoking @p cb with the
+     * 1-based line number and each parsed record. Same malformed-line
+     * policy as loadLatest(). Shared with svc::CacheIndex so every
+     * reader tolerates exactly the same store states.
+     */
+    static void
+    scanResultsFile(const std::string& path,
+                    const std::function<void(std::size_t, RunRecord&&)>&
+                        cb);
 
     /**
      * True when @p s can be skipped on resume: its latest record
@@ -135,7 +186,14 @@ class Store
     bool satisfiedBy(const std::map<std::string, RunRecord>& latest,
                      const Scenario& s) const;
 
-    std::string resultsPath() const { return dir_ + "/results.jsonl"; }
+    /** The file *this* process appends to (worker-aware). */
+    std::string resultsPath() const
+    {
+        return worker_.empty() ? dir_ + "/results.jsonl"
+                               : dir_ + "/results." + worker_ +
+                                     ".jsonl";
+    }
+    std::string leasesDir() const { return dir_ + "/leases"; }
     std::string logPath(const std::string& id) const
     {
         return dir_ + "/logs/" + id + ".log";
@@ -155,6 +213,7 @@ class Store
 
   private:
     std::string dir_;
+    std::string worker_; ///< empty = classic single-runner mode
 };
 
 } // namespace wwt::exp

@@ -1,0 +1,212 @@
+#include "svc/http.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace wwt::svc
+{
+
+namespace
+{
+
+std::string_view
+contentTypeFor(std::string_view path)
+{
+    auto ends = [&](std::string_view suffix) {
+        return path.size() >= suffix.size() &&
+               path.substr(path.size() - suffix.size()) == suffix;
+    };
+    if (ends(".html"))
+        return "text/html; charset=utf-8";
+    if (ends(".json"))
+        return "application/json";
+    if (ends(".css"))
+        return "text/css";
+    if (ends(".svg"))
+        return "image/svg+xml";
+    if (ends(".txt") || ends(".log") || ends(".jsonl") || ends(".csv"))
+        return "text/plain; charset=utf-8";
+    return "application/octet-stream";
+}
+
+std::string
+response(int status, std::string_view reason,
+         std::string_view content_type, std::string_view body,
+         bool include_body)
+{
+    std::ostringstream os;
+    os << "HTTP/1.0 " << status << ' ' << reason << "\r\n"
+       << "Content-Type: " << content_type << "\r\n"
+       << "Content-Length: " << body.size() << "\r\n"
+       << "Connection: close\r\n\r\n";
+    if (include_body)
+        os << body;
+    return os.str();
+}
+
+std::string
+errorPage(int status, std::string_view reason, bool include_body)
+{
+    std::string body = "<!doctype html><title>" +
+                       std::to_string(status) +
+                       "</title><h1>" + std::to_string(status) + " " +
+                       std::string(reason) + "</h1>\n";
+    return response(status, reason, "text/html; charset=utf-8", body,
+                    include_body);
+}
+
+/** Resolve the request target to a path under the root, or "" when
+ *  the target is malformed or escapes the tree. */
+std::string
+sanitizeTarget(std::string_view target)
+{
+    if (target.empty() || target[0] != '/')
+        return "";
+    if (std::size_t q = target.find('?'); q != std::string_view::npos)
+        target = target.substr(0, q);
+    if (target.find('\0') != std::string_view::npos)
+        return "";
+    std::string path(target);
+    if (path.back() == '/')
+        path += "index.html";
+    // Reject any dot-dot component outright; the dashboard generator
+    // never produces one, so this only ever blocks traversal.
+    std::istringstream ss(path);
+    std::string comp;
+    while (std::getline(ss, comp, '/')) {
+        if (comp == "..")
+            return "";
+    }
+    return path;
+}
+
+} // namespace
+
+HttpServer::HttpServer(std::string root_dir)
+    : rootDir_(std::move(root_dir))
+{
+}
+
+HttpServer::~HttpServer()
+{
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+}
+
+bool
+HttpServer::bind(const std::string& host, int port, std::string& err)
+{
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        err = "bad host address " + host;
+        return false;
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+        err = "bind " + host + ":" + std::to_string(port) + ": " +
+              std::strerror(errno);
+        return false;
+    }
+    if (::listen(listenFd_, 16) != 0) {
+        err = std::string("listen: ") + std::strerror(errno);
+        return false;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    return true;
+}
+
+bool
+HttpServer::handleOne(std::string& err)
+{
+    int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) {
+        err = std::string("accept: ") + std::strerror(errno);
+        return false;
+    }
+    // Read until the end of the request head (or a sane cap); only
+    // the request line matters to a static file server.
+    std::string req;
+    char buf[2048];
+    while (req.size() < 16 * 1024 &&
+           req.find("\r\n") == std::string::npos) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        req.append(buf, static_cast<std::size_t>(n));
+    }
+    std::string method, target;
+    if (std::size_t eol = req.find("\r\n"); eol != std::string::npos) {
+        std::istringstream line(req.substr(0, eol));
+        line >> method >> target;
+    }
+    std::string resp = buildResponse(method, target, rootDir_);
+    std::size_t off = 0;
+    while (off < resp.size()) {
+        ssize_t n = ::send(fd, resp.data() + off, resp.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0)
+            break;
+        off += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    return true;
+}
+
+void
+HttpServer::serveForever()
+{
+    std::string err;
+    for (;;) {
+        if (!handleOne(err)) {
+            if (errno == EINTR)
+                continue;
+            std::fprintf(stderr, "serve: %s\n", err.c_str());
+            return;
+        }
+    }
+}
+
+std::string
+HttpServer::buildResponse(std::string_view method,
+                          std::string_view target,
+                          const std::string& root_dir)
+{
+    bool head = method == "HEAD";
+    if (method != "GET" && !head) {
+        if (method.empty())
+            return errorPage(400, "Bad Request", true);
+        return errorPage(405, "Method Not Allowed", !head);
+    }
+    std::string path = sanitizeTarget(target);
+    if (path.empty())
+        return errorPage(400, "Bad Request", !head);
+
+    std::ifstream in(root_dir + path, std::ios::binary);
+    if (!in)
+        return errorPage(404, "Not Found", !head);
+    std::ostringstream body;
+    body << in.rdbuf();
+    return response(200, "OK", contentTypeFor(path), body.str(),
+                    !head);
+}
+
+} // namespace wwt::svc

@@ -1,0 +1,71 @@
+#pragma once
+
+/**
+ * @file
+ * A deliberately tiny single-threaded HTTP/1.0-style file server for
+ * `wwtcmp_campaign serve`.
+ *
+ * The read side of the campaign service is static by construction —
+ * the dashboard generator renders the store into a directory of HTML
+ * and JSON documents, and this server does nothing but map GET paths
+ * onto that directory. One thread, one connection at a time,
+ * Connection: close on every response: the store's single-writer
+ * discipline is never shared with a request handler, and there is no
+ * state to race on. Responses carry no Date header or other
+ * nondeterminism, so the same tree serves the same bytes — the
+ * byte-determinism contract extends through the HTTP layer.
+ *
+ * Path handling: the target must be absolute, query strings are
+ * dropped, "/" and directory paths resolve to index.html, and any
+ * dot-dot component is rejected before the filesystem is consulted.
+ */
+
+#include <string>
+#include <string_view>
+
+namespace wwt::svc
+{
+
+/** Serves GET/HEAD for one root directory on one listening socket. */
+class HttpServer
+{
+  public:
+    explicit HttpServer(std::string root_dir);
+    ~HttpServer();
+    HttpServer(const HttpServer&) = delete;
+    HttpServer& operator=(const HttpServer&) = delete;
+
+    /**
+     * Bind and listen on @p host:@p port (port 0 = ephemeral).
+     * @return true on success; on failure @p err explains.
+     */
+    bool bind(const std::string& host, int port, std::string& err);
+
+    /** The bound port (valid after bind()). */
+    int port() const { return port_; }
+
+    /**
+     * Accept and serve exactly one connection (blocking).
+     * @return false on an accept/read error worth reporting.
+     */
+    bool handleOne(std::string& err);
+
+    /** Accept loop; returns only on an unrecoverable socket error. */
+    void serveForever();
+
+    /**
+     * Pure request -> response mapping, exposed for tests: takes the
+     * method and target of the request line plus the root directory,
+     * returns the full serialized HTTP response.
+     */
+    static std::string buildResponse(std::string_view method,
+                                     std::string_view target,
+                                     const std::string& root_dir);
+
+  private:
+    std::string rootDir_;
+    int listenFd_ = -1;
+    int port_ = 0;
+};
+
+} // namespace wwt::svc

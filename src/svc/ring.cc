@@ -1,0 +1,273 @@
+#include "svc/ring.hh"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace wwt::svc
+{
+
+namespace
+{
+
+constexpr std::uint32_t kMagic = 0x77724e47; // "wrNG"
+constexpr std::uint32_t kVersion = 1;
+
+struct RingHeader {
+    std::uint32_t magic;
+    std::uint32_t version;
+    std::uint32_t slots;
+    std::uint32_t payloadBytes;
+};
+
+/** Per-slot control block, cacheline-aligned so neighbouring slots
+ *  never false-share their state words across processes. */
+struct alignas(64) SlotHeader {
+    std::atomic<std::uint32_t> state;
+    std::atomic<std::uint32_t> length;
+};
+
+// The protocol relies on address-free lock-free atomics: the same
+// physical word is mapped at different addresses in parent and child.
+static_assert(std::atomic<std::uint32_t>::is_always_lock_free,
+              "record ring needs lock-free 32-bit atomics");
+
+constexpr std::size_t kHeaderBytes = 64; // RingHeader, padded
+
+std::size_t
+slotStride(std::uint32_t payload_bytes)
+{
+    return sizeof(SlotHeader) +
+           ((static_cast<std::size_t>(payload_bytes) + 63) & ~63ull);
+}
+
+SlotHeader*
+slotAt(void* base, std::uint32_t payload_bytes, std::uint32_t slot)
+{
+    return reinterpret_cast<SlotHeader*>(
+        static_cast<char*>(base) + kHeaderBytes +
+        slot * slotStride(payload_bytes));
+}
+
+char*
+payloadAt(SlotHeader* s)
+{
+    return reinterpret_cast<char*>(s) + sizeof(SlotHeader);
+}
+
+[[noreturn]] void
+fail(const std::string& what)
+{
+    throw std::runtime_error("record ring: " + what);
+}
+
+} // namespace
+
+RecordRing::RecordRing(RecordRing&& other) noexcept
+{
+    *this = std::move(other);
+}
+
+RecordRing&
+RecordRing::operator=(RecordRing&& other) noexcept
+{
+    if (this != &other) {
+        unmap();
+        base_ = other.base_;
+        mapBytes_ = other.mapBytes_;
+        slots_ = other.slots_;
+        payloadBytes_ = other.payloadBytes_;
+        other.base_ = nullptr;
+        other.mapBytes_ = 0;
+    }
+    return *this;
+}
+
+RecordRing::~RecordRing()
+{
+    unmap();
+}
+
+void
+RecordRing::unmap()
+{
+    if (base_) {
+        ::munmap(base_, mapBytes_);
+        base_ = nullptr;
+    }
+}
+
+RecordRing
+RecordRing::create(const std::string& path, std::uint32_t slots,
+                   std::uint32_t payload_bytes)
+{
+    if (slots == 0 || payload_bytes == 0)
+        fail("needs at least one slot and a nonzero payload size");
+    std::size_t bytes =
+        kHeaderBytes + slots * slotStride(payload_bytes);
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0666);
+    if (fd < 0)
+        fail("cannot create " + path + ": " + std::strerror(errno));
+    if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+        int e = errno;
+        ::close(fd);
+        fail("cannot size " + path + ": " + std::strerror(e));
+    }
+    void* base = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                        MAP_SHARED, fd, 0);
+    ::close(fd); // the mapping keeps the file alive
+    if (base == MAP_FAILED)
+        fail("cannot map " + path + ": " + std::strerror(errno));
+
+    auto* hdr = static_cast<RingHeader*>(base);
+    hdr->slots = slots;
+    hdr->payloadBytes = payload_bytes;
+    hdr->version = kVersion;
+    // ftruncate zero-fills, so every slot already reads FREE; the
+    // magic is stored last so a child that maps a half-initialized
+    // file rejects it.
+    std::atomic_thread_fence(std::memory_order_release);
+    hdr->magic = kMagic;
+
+    RecordRing r;
+    r.base_ = base;
+    r.mapBytes_ = bytes;
+    r.slots_ = slots;
+    r.payloadBytes_ = payload_bytes;
+    return r;
+}
+
+RecordRing
+RecordRing::open(const std::string& path)
+{
+    int fd = ::open(path.c_str(), O_RDWR);
+    if (fd < 0)
+        fail("cannot open " + path + ": " + std::strerror(errno));
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 ||
+        st.st_size < static_cast<off_t>(kHeaderBytes)) {
+        ::close(fd);
+        fail(path + " is not a ring file");
+    }
+    std::size_t bytes = static_cast<std::size_t>(st.st_size);
+    void* base =
+        ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (base == MAP_FAILED)
+        fail("cannot map " + path + ": " + std::strerror(errno));
+
+    auto* hdr = static_cast<RingHeader*>(base);
+    if (hdr->magic != kMagic || hdr->version != kVersion ||
+        hdr->slots == 0 || hdr->payloadBytes == 0 ||
+        bytes < kHeaderBytes +
+                    hdr->slots * slotStride(hdr->payloadBytes)) {
+        ::munmap(base, bytes);
+        fail(path + " has a malformed ring header");
+    }
+
+    RecordRing r;
+    r.base_ = base;
+    r.mapBytes_ = bytes;
+    r.slots_ = hdr->slots;
+    r.payloadBytes_ = hdr->payloadBytes;
+    return r;
+}
+
+bool
+RecordRing::claim(std::uint32_t slot)
+{
+    if (!valid() || slot >= slots_)
+        return false;
+    SlotHeader* s = slotAt(base_, payloadBytes_, slot);
+    std::uint32_t expected = kFree;
+    return s->state.compare_exchange_strong(
+        expected, kWriting, std::memory_order_acq_rel,
+        std::memory_order_acquire);
+}
+
+bool
+RecordRing::publish(std::uint32_t slot, std::string_view payload)
+{
+    if (!valid() || slot >= slots_ || payload.size() > payloadBytes_)
+        return false;
+    SlotHeader* s = slotAt(base_, payloadBytes_, slot);
+    std::memcpy(payloadAt(s), payload.data(), payload.size());
+    s->length.store(static_cast<std::uint32_t>(payload.size()),
+                    std::memory_order_relaxed);
+    // Release: the parent's acquire load of READY observes the full
+    // payload and length.
+    s->state.store(kReady, std::memory_order_release);
+    return true;
+}
+
+void
+RecordRing::markOverflow(std::uint32_t slot)
+{
+    if (!valid() || slot >= slots_)
+        return;
+    SlotHeader* s = slotAt(base_, payloadBytes_, slot);
+    s->state.store(kOverflow, std::memory_order_release);
+}
+
+char*
+RecordRing::rawPayload(std::uint32_t slot)
+{
+    if (!valid() || slot >= slots_)
+        return nullptr;
+    return payloadAt(slotAt(base_, payloadBytes_, slot));
+}
+
+std::uint32_t
+RecordRing::state(std::uint32_t slot) const
+{
+    if (!valid() || slot >= slots_)
+        return kFree;
+    return slotAt(base_, payloadBytes_, slot)
+        ->state.load(std::memory_order_acquire);
+}
+
+bool
+RecordRing::drain(std::uint32_t slot, std::string& out)
+{
+    if (!valid() || slot >= slots_)
+        return false;
+    SlotHeader* s = slotAt(base_, payloadBytes_, slot);
+    if (s->state.load(std::memory_order_acquire) != kReady)
+        return false;
+    std::uint32_t n = s->length.load(std::memory_order_relaxed);
+    if (n > payloadBytes_)
+        return false; // corrupt length; treat as undrainable
+    out.assign(payloadAt(s), n);
+    s->state.store(kDrained, std::memory_order_release);
+    return true;
+}
+
+void
+RecordRing::recycle(std::uint32_t slot)
+{
+    if (!valid() || slot >= slots_)
+        return;
+    SlotHeader* s = slotAt(base_, payloadBytes_, slot);
+    s->length.store(0, std::memory_order_relaxed);
+    s->state.store(kFree, std::memory_order_release);
+}
+
+const char*
+RecordRing::stateName(std::uint32_t s)
+{
+    switch (s) {
+      case kFree: return "FREE";
+      case kWriting: return "WRITING";
+      case kReady: return "READY";
+      case kOverflow: return "OVERFLOW";
+      case kDrained: return "DRAINED";
+    }
+    return "?";
+}
+
+} // namespace wwt::svc

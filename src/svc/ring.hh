@@ -1,0 +1,138 @@
+#pragma once
+
+/**
+ * @file
+ * The shared-memory record ring: fixed-slot SPSC handoff between a
+ * campaign child process and its scheduling parent.
+ *
+ * The runner used to hand results back through a tmp file per child
+ * (child writes <dir>/tmp/<id>.json, parent re-opens and validates).
+ * The ring replaces that with one mmap'd file per runner process,
+ * divided into fixed-size slots. Each child is assigned exactly one
+ * slot for its lifetime, so every slot is single-producer (the child)
+ * single-consumer (the parent) and needs no locks — only a state
+ * machine and explicit acquire/release ordering:
+ *
+ *     FREE ──claim()──▶ WRITING ──publish()──▶ READY ──drain()──▶ DRAINED
+ *       ▲                  │  └─markOverflow()─▶ OVERFLOW             │
+ *       └──────────── recycle() (parent, before reuse) ◀──────────────┘
+ *
+ *  - claim()     child, at startup: CAS FREE -> WRITING. The slot is
+ *                considered dirty for the whole child lifetime.
+ *  - publish()   child, at exit: copy the record line into the slot
+ *                payload, then store READY with release ordering so
+ *                the parent's acquire load observes the full payload.
+ *  - markOverflow() child: the record did not fit; the child fell
+ *                back to the tmp-file handoff and the parent should
+ *                read it from there.
+ *  - drain()     parent, after reaping the child: acquire-load READY,
+ *                copy the payload out, mark DRAINED.
+ *  - recycle()   parent, before assigning the slot to a new child:
+ *                reset to FREE whatever state the previous occupant
+ *                left behind. A child that died mid-WRITING (crash,
+ *                SIGKILL, timeout) leaves WRITING — the parent
+ *                detects that after waitpid and reclaims the slot;
+ *                the half-written payload is simply abandoned.
+ *
+ * The measurement lesson from the ivshmem-analysis study
+ * (SNIPPETS.md §3) is applied here as a failure-mode checklist, not
+ * just an idiom: state transitions are fenced, either side may die at
+ * any point in the lifecycle without wedging the other, partial
+ * payloads are unreachable (length is only trusted under READY), and
+ * nothing in the protocol carries timing semantics — wall-clock
+ * attribution stays in the record itself, which documents exactly
+ * what it covers.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wwt::svc
+{
+
+/** One mmap'd ring of record slots. Move-only; unmaps on destruction. */
+class RecordRing
+{
+  public:
+    enum State : std::uint32_t {
+        kFree = 0,     ///< unowned; parent may hand it to a child
+        kWriting = 1,  ///< child owns it; payload must not be trusted
+        kReady = 2,    ///< payload + length valid; parent may drain
+        kOverflow = 3, ///< record too big; child used the tmp file
+        kDrained = 4,  ///< parent copied the payload out
+    };
+
+    /** Payload bytes per slot. Campaign record lines are a few KB;
+     *  64 KB leaves an order of magnitude of headroom before the
+     *  tmp-file overflow path triggers. */
+    static constexpr std::uint32_t kDefaultPayloadBytes = 64 * 1024;
+
+    RecordRing() = default;
+    RecordRing(RecordRing&& other) noexcept;
+    RecordRing& operator=(RecordRing&& other) noexcept;
+    RecordRing(const RecordRing&) = delete;
+    RecordRing& operator=(const RecordRing&) = delete;
+    ~RecordRing();
+
+    /**
+     * Create (truncate) the ring file at @p path with @p slots slots.
+     * Parent side. @throws std::runtime_error on I/O failure.
+     */
+    static RecordRing create(const std::string& path,
+                             std::uint32_t slots,
+                             std::uint32_t payload_bytes =
+                                 kDefaultPayloadBytes);
+
+    /** Map an existing ring. Child side.
+     *  @throws std::runtime_error on a missing or malformed file. */
+    static RecordRing open(const std::string& path);
+
+    bool valid() const { return base_ != nullptr; }
+    std::uint32_t slots() const { return slots_; }
+    std::uint32_t payloadBytes() const { return payloadBytes_; }
+
+    // --- child (producer) side -----------------------------------
+
+    /** FREE -> WRITING. False when the slot was not FREE (the caller
+     *  should fall back to the tmp-file handoff). */
+    bool claim(std::uint32_t slot);
+
+    /** WRITING -> READY with the payload copied in (release fence).
+     *  False when @p payload exceeds payloadBytes() — the caller
+     *  must write the tmp file and markOverflow() instead. */
+    bool publish(std::uint32_t slot, std::string_view payload);
+
+    /** WRITING -> OVERFLOW: record handed off via the tmp file. */
+    void markOverflow(std::uint32_t slot);
+
+    /** Raw payload pointer — exists for the chaos hook that dies
+     *  mid-WRITING after a partial memcpy (tests/CI only). */
+    char* rawPayload(std::uint32_t slot);
+
+    // --- parent (consumer) side ----------------------------------
+
+    /** Current state (acquire load). */
+    std::uint32_t state(std::uint32_t slot) const;
+
+    /** READY -> DRAINED, copying the payload into @p out.
+     *  False when the slot is not READY. */
+    bool drain(std::uint32_t slot, std::string& out);
+
+    /** Reset to FREE, abandoning whatever the previous occupant left
+     *  (parent only, after the child has been reaped). */
+    void recycle(std::uint32_t slot);
+
+    static const char* stateName(std::uint32_t s);
+
+  private:
+    void unmap();
+
+    void* base_ = nullptr;
+    std::size_t mapBytes_ = 0;
+    std::uint32_t slots_ = 0;
+    std::uint32_t payloadBytes_ = 0;
+};
+
+} // namespace wwt::svc
